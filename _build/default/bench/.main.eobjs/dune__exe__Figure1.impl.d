@@ -1,0 +1,1 @@
+bench/figure1.ml: Analysis Cost_model Format Generator List Opt Params Spike_core Spike_interp Spike_opt Spike_synth String

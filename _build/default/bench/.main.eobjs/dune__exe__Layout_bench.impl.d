@@ -1,0 +1,1 @@
+bench/layout_bench.ml: Array Format Generator Icache List Params Pettis_hansen Spike_layout Spike_synth String

@@ -1,0 +1,1 @@
+bench/measure.ml: Analysis Array Calibrate Generator Insn List Memmeter Program Psg Psg_build Psg_stats Routine Spike_cfg Spike_core Spike_ir Spike_isa Spike_supercfg Spike_support Spike_synth Timer

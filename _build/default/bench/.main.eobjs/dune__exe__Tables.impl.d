@@ -1,0 +1,1 @@
+bench/tables.ml: Calibrate Format Int List Measure Params Printf Spike_core Spike_synth String

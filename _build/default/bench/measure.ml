@@ -1,0 +1,105 @@
+(* Workload measurement: generate a calibrated synthetic program, run the
+   full interprocedural analysis on it, and collect everything the paper's
+   tables and figures report. *)
+
+open Spike_support
+open Spike_isa
+open Spike_ir
+open Spike_core
+open Spike_synth
+
+type t = {
+  row : Calibrate.paper_row;
+  scale : float;
+  routines : int;
+  blocks : int;
+  instructions : int;
+  supergraph_arcs : int;
+  time_s : float;
+  memory_mb : float;
+  stages : (string * float) list;  (* stage -> seconds *)
+  psg : Psg_stats.t;
+  psg_nodes_without_bn : int;
+  psg_edges_without_bn : int;
+  entrances_per_routine : float;
+  exits_per_routine : float;
+  calls_per_routine : float;
+  branches_per_routine : float;
+  phase1_iterations : int;
+  phase2_iterations : int;
+}
+
+let count_insn_kind program pred =
+  Array.fold_left
+    (fun n (r : Routine.t) ->
+      Array.fold_left (fun n insn -> if pred insn then n + 1 else n) n r.Routine.insns)
+    0 (Program.routines program)
+
+let is_branch = function
+  | Insn.Br _ | Insn.Bcond _ | Insn.Switch _ -> true
+  | Insn.Li _ | Insn.Lda _ | Insn.Mov _ | Insn.Binop _ | Insn.Load _ | Insn.Store _
+  | Insn.Jump_unknown _ | Insn.Call _ | Insn.Ret | Insn.Nop ->
+      false
+
+let run_benchmark ?(scale = 1.0) (row : Calibrate.paper_row) =
+  let params = Calibrate.params_of ~scale row in
+  let program = Generator.generate params in
+  let analysis, bytes = Memmeter.measure (fun () -> Analysis.run program) in
+  let nroutines = Program.routine_count program in
+  let blocks =
+    Array.fold_left (fun n cfg -> n + Spike_cfg.Cfg.block_count cfg) 0
+      analysis.Analysis.cfgs
+  in
+  let super = Spike_supercfg.Supercfg.build program analysis.Analysis.cfgs in
+  (* Rebuild the PSG without branch nodes for the Table 4 comparison
+     (reusing the already-built CFGs; untimed). *)
+  let psg_without =
+    Psg_build.build ~branch_nodes:false
+      ~entry_filters:analysis.Analysis.psg.Psg.entry_filter program
+      analysis.Analysis.cfgs analysis.Analysis.defuses
+  in
+  let fl = float_of_int in
+  let per x = fl x /. fl nroutines in
+  let entrances =
+    Array.fold_left (fun n (r : Routine.t) -> n + List.length r.Routine.entries) 0
+      (Program.routines program)
+  in
+  let exits =
+    Array.fold_left (fun n r -> n + Routine.exit_count r) 0 (Program.routines program)
+  in
+  let calls = count_insn_kind program Insn.is_call in
+  let branches = count_insn_kind program is_branch in
+  {
+    row;
+    scale;
+    routines = nroutines;
+    blocks;
+    instructions = Program.instruction_count program;
+    supergraph_arcs = Spike_supercfg.Supercfg.arc_count super;
+    time_s = Analysis.total_seconds analysis;
+    memory_mb = Memmeter.megabytes bytes;
+    stages = Timer.stages analysis.Analysis.timer;
+    psg = Psg_stats.of_psg analysis.Analysis.psg;
+    psg_nodes_without_bn = Psg.node_count psg_without;
+    psg_edges_without_bn = Psg.edge_count psg_without;
+    entrances_per_routine = per entrances;
+    exits_per_routine = per exits;
+    calls_per_routine = per calls;
+    branches_per_routine = per branches;
+    phase1_iterations = analysis.Analysis.phase1_iterations;
+    phase2_iterations = analysis.Analysis.phase2_iterations;
+  }
+
+let edge_reduction_pct m =
+  if m.psg_edges_without_bn = 0 then 0.0
+  else
+    100.0
+    *. float_of_int (m.psg_edges_without_bn - m.psg.Psg_stats.edges)
+    /. float_of_int m.psg_edges_without_bn
+
+let node_increase_pct m =
+  if m.psg_nodes_without_bn = 0 then 0.0
+  else
+    100.0
+    *. float_of_int (m.psg.Psg_stats.nodes - m.psg_nodes_without_bn)
+    /. float_of_int m.psg_nodes_without_bn

@@ -1,0 +1,256 @@
+(* spike — command-line front end to the analysis and optimizer.
+
+   Subcommands:
+     spike analyze FILE        interprocedural dataflow summaries
+     spike opt FILE -o OUT     optimize and write the result
+     spike run FILE            execute under the interpreter
+     spike gen                 generate a synthetic workload as assembly
+     spike dump FILE           CFG/PSG statistics for a program *)
+
+open Cmdliner
+open Spike_support
+open Spike_ir
+open Spike_core
+
+let load_program path =
+  let program = Spike_asm.Parser.program_of_file path in
+  match Validate.check program with
+  | Ok () -> program
+  | Error problems ->
+      Format.eprintf "%s: ill-formed program:@." path;
+      List.iter (fun p -> Format.eprintf "  %s@." p) problems;
+      exit 2
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Assembly file.")
+
+let externals_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "externals" ] ~docv:"FILE"
+        ~doc:
+          "Summary file with compiler/linker-provided register summaries for \
+           external routines (§3.5).")
+
+let load_externals = function
+  | None -> fun _ -> None
+  | Some path -> Spike_asm.Summaries.lookup (Spike_asm.Summaries.of_file path)
+
+let branch_nodes_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "branch-nodes" ] ~docv:"BOOL"
+        ~doc:"Insert PSG branch nodes at multiway branches (§3.6).")
+
+(* --- analyze ----------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run file branch_nodes verbose externals =
+    let program = load_program file in
+    let analysis = Analysis.run ~branch_nodes ~externals:(load_externals externals) program in
+    Format.printf "%a@." Analysis.pp_times analysis;
+    Format.printf "%a@." Psg_stats.pp (Psg_stats.of_psg analysis.Analysis.psg);
+    Array.iter
+      (fun summary -> Format.printf "@.%a@." Summary.pp summary)
+      analysis.Analysis.summaries;
+    if verbose then Format.printf "@.%a@." Psg.pp analysis.Analysis.psg
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also dump the PSG itself.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Compute interprocedural register summaries")
+    Term.(const run $ file_arg $ branch_nodes_arg $ verbose $ externals_arg)
+
+(* --- opt --------------------------------------------------------------- *)
+
+let opt_cmd =
+  let run file output externals =
+    let program = load_program file in
+    let optimized, report =
+      Spike_opt.Opt.run (Analysis.run ~externals:(load_externals externals) program)
+    in
+    Format.printf "%a@." Spike_opt.Opt.pp_report report;
+    match output with
+    | Some path ->
+        Spike_asm.Printer.to_file path optimized;
+        Format.printf "wrote %s@." path
+    | None -> Format.printf "@.%a@." Spike_asm.Printer.pp_program optimized
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Write the optimized program here.")
+  in
+  Cmd.v
+    (Cmd.info "opt" ~doc:"Apply the summary-driven optimizations (Figure 1)")
+    Term.(const run $ file_arg $ output $ externals_arg)
+
+(* --- run --------------------------------------------------------------- *)
+
+let run_cmd =
+  let run file fuel check =
+    let program = load_program file in
+    if check then begin
+      let analysis = Analysis.run program in
+      let outcome, violations = Spike_interp.Oracle.check ~fuel analysis in
+      List.iter
+        (fun v -> Format.printf "violation: %a@." Spike_interp.Oracle.pp_violation v)
+        violations;
+      (match outcome with
+      | Spike_interp.Machine.Halted v -> Format.printf "halted, v0 = %d@." v
+      | Spike_interp.Machine.Trapped _ -> Format.printf "trapped@.");
+      if violations <> [] then exit 1
+    end
+    else
+      match Spike_interp.Machine.execute ~fuel program with
+      | Spike_interp.Machine.Halted v -> Format.printf "halted, v0 = %d@." v
+      | Spike_interp.Machine.Trapped _ ->
+          Format.printf "trapped@.";
+          exit 1
+  in
+  let fuel =
+    Arg.(
+      value & opt int 10_000_000
+      & info [ "fuel" ] ~docv:"N" ~doc:"Instruction budget (default 10M).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Run the dynamic soundness oracle against the analysis while executing.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a program under the interpreter")
+    Term.(const run $ file_arg $ fuel $ check)
+
+(* --- gen --------------------------------------------------------------- *)
+
+let gen_cmd =
+  let run seed routines instructions benchmark scale output =
+    let params =
+      match benchmark with
+      | Some name -> (
+          match Spike_synth.Calibrate.find name with
+          | Some row -> Spike_synth.Calibrate.params_of ~scale row
+          | None ->
+              Format.eprintf "unknown benchmark %s (see bench/main.exe --table 1)@." name;
+              exit 2)
+      | None ->
+          {
+            Spike_synth.Params.default with
+            Spike_synth.Params.seed;
+            routines;
+            target_instructions = instructions;
+          }
+    in
+    let program = Spike_synth.Generator.generate params in
+    match output with
+    | Some path ->
+        Spike_asm.Printer.to_file path program;
+        Format.printf "wrote %s (%d routines, %d instructions)@." path
+          (Program.routine_count program)
+          (Program.instruction_count program)
+    | None -> Format.printf "%a@?" Spike_asm.Printer.pp_program program
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.") in
+  let routines =
+    Arg.(value & opt int 12 & info [ "routines" ] ~docv:"N" ~doc:"Routine count.")
+  in
+  let instructions =
+    Arg.(
+      value & opt int 600
+      & info [ "instructions" ] ~docv:"N" ~doc:"Approximate program size.")
+  in
+  let benchmark =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "benchmark" ] ~docv:"NAME"
+          ~doc:"Use a paper-calibrated shape (e.g. gcc, acad).")
+  in
+  let scale =
+    Arg.(value & opt float 1.0 & info [ "bench-scale" ] ~docv:"F" ~doc:"Benchmark scale.")
+  in
+  let output =
+    Arg.(
+      value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic workload as assembly")
+    Term.(const run $ seed $ routines $ instructions $ benchmark $ scale $ output)
+
+(* --- layout ------------------------------------------------------------ *)
+
+let layout_cmd =
+  let run file lines =
+    let program = load_program file in
+    let config = { Spike_layout.Icache.line_instructions = 8; lines } in
+    let outcome, weights = Spike_layout.Pettis_hansen.collect_weights program in
+    (match outcome with
+    | Spike_interp.Machine.Halted _ -> ()
+    | Spike_interp.Machine.Trapped _ ->
+        Format.eprintf "warning: profiling run trapped; weights cover the prefix@.");
+    let identity = Spike_layout.Pettis_hansen.original_order program in
+    let ph = Spike_layout.Pettis_hansen.order program weights in
+    let rate layout =
+      let _, stats = Spike_layout.Icache.simulate config ~layout program in
+      100.0 *. Spike_layout.Icache.miss_rate stats
+    in
+    Format.printf "I-cache: %d lines x 8 instructions (direct-mapped)@." lines;
+    Format.printf "miss rate, original order:      %.3f%%@." (rate identity);
+    Format.printf "miss rate, Pettis-Hansen order: %.3f%%@." (rate ph);
+    Format.printf "@.suggested order:@.";
+    Array.iter
+      (fun r -> Format.printf "  %s@." (Program.get program r).Routine.name)
+      ph
+  in
+  let lines =
+    Arg.(
+      value & opt int 256
+      & info [ "lines" ] ~docv:"N" ~doc:"I-cache lines (8 instructions each).")
+  in
+  Cmd.v
+    (Cmd.info "layout"
+       ~doc:"Profile-guided routine ordering (Pettis-Hansen) with I-cache evaluation")
+    Term.(const run $ file_arg $ lines)
+
+(* --- dump -------------------------------------------------------------- *)
+
+let dump_cmd =
+  let run file branch_nodes =
+    let program = load_program file in
+    let analysis = Analysis.run ~branch_nodes program in
+    let blocks =
+      Array.fold_left
+        (fun n cfg -> n + Spike_cfg.Cfg.block_count cfg)
+        0 analysis.Analysis.cfgs
+    in
+    let super = Spike_supercfg.Supercfg.build program analysis.Analysis.cfgs in
+    Format.printf "routines:      %d@." (Program.routine_count program);
+    Format.printf "instructions:  %d@." (Program.instruction_count program);
+    Format.printf "basic blocks:  %d@." blocks;
+    Format.printf "CFG arcs:      %d (incl. %d call, %d return)@."
+      (Spike_supercfg.Supercfg.arc_count super)
+      (Spike_supercfg.Supercfg.call_arc_count super)
+      (Spike_supercfg.Supercfg.return_arc_count super);
+    Format.printf "%a@." Psg_stats.pp (Psg_stats.of_psg analysis.Analysis.psg);
+    Array.iteri
+      (fun r cfg ->
+        Format.printf "@.%a" Spike_cfg.Cfg.pp cfg;
+        let filter = analysis.Analysis.psg.Psg.entry_filter.(r) in
+        if not (Regset.is_empty filter) then
+          Format.printf "  saved+restored: %a@."
+            (Regset.pp ~name:Spike_isa.Reg.name)
+            filter)
+      analysis.Analysis.cfgs
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Dump CFGs and graph statistics")
+    Term.(const run $ file_arg $ branch_nodes_arg)
+
+let () =
+  let doc = "post-link-time interprocedural register dataflow (PLDI'97 reproduction)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "spike" ~doc) [ analyze_cmd; opt_cmd; run_cmd; gen_cmd; dump_cmd; layout_cmd ]))

@@ -1,0 +1,1 @@
+examples/external_library.ml: Analysis Array Builder Format Insn List Option Program Psg Reg Routine Spike_asm Spike_core Spike_ir Spike_isa Spike_opt Spike_support Summary Validate

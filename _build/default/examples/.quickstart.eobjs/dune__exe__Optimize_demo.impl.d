@@ -1,0 +1,1 @@
+examples/optimize_demo.ml: Analysis Builder Format Insn Program Reg Spike_asm Spike_core Spike_interp Spike_ir Spike_isa Spike_opt

@@ -1,0 +1,1 @@
+examples/paper_example.ml: Analysis Array Builder Format Insn List Program Psg Reg Spike_core Spike_ir Spike_isa

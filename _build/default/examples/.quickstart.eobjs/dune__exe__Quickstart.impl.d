@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Array Builder Format Insn List Program Reg Regset Spike_core Spike_ir Spike_isa Spike_support Summary Validate

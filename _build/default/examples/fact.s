@@ -1,0 +1,53 @@
+# Hand-written example program in the spike assembly format:
+# iterative factorial plus a recursive Fibonacci, with the standard
+# prologue/epilogue discipline.
+.main main
+
+.routine main .exported
+  # v0 = fact(6) + fib(8)
+  li a0, 6
+  bsr ra, fact
+  mov v0, t0
+  li a0, 8
+  bsr ra, fib
+  addq v0, t0, v0
+  ret
+.end
+
+.routine fact
+  # iterative: acc in t1, counter in t2
+  li t1, 1
+  mov a0, t2
+loop:
+  ble t2, done
+  mulq t1, t2, t1
+  subq t2, 1, t2
+  br loop
+done:
+  mov t1, v0
+  ret
+.end
+
+.routine fib
+  lda sp, -24(sp)
+  stq ra, 0(sp)
+  stq s0, 8(sp)        # fib(n-1) survives the second call in s0
+  cmple a0, 1, t3
+  beq t3, recurse
+  mov a0, v0           # fib(0) = 0, fib(1) = 1
+  br out
+recurse:
+  subq a0, 1, a0
+  stq a0, 16(sp)       # save n-1
+  bsr ra, fib
+  mov v0, s0
+  ldq a0, 16(sp)
+  subq a0, 1, a0
+  bsr ra, fib
+  addq v0, s0, v0
+out:
+  ldq s0, 8(sp)
+  ldq ra, 0(sp)
+  lda sp, 24(sp)
+  ret
+.end

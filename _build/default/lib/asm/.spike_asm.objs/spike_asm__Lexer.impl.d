@@ -1,0 +1,1 @@
+lib/asm/lexer.ml: Format List Printf String

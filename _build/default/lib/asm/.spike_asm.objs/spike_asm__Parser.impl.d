@@ -1,0 +1,1 @@
+lib/asm/parser.ml: Array Format Insn Lexer List Program Reg Routine Spike_ir Spike_isa

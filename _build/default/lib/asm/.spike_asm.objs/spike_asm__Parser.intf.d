@@ -1,0 +1,1 @@
+lib/asm/parser.mli: Program Spike_ir

@@ -1,0 +1,1 @@
+lib/asm/printer.ml: Format Program Spike_ir

@@ -1,0 +1,1 @@
+lib/asm/printer.mli: Format Program Spike_ir

@@ -1,0 +1,1 @@
+lib/asm/summaries.ml: Buffer Format Lexer List Printf Psg Reg Regset Spike_core Spike_isa Spike_support String

@@ -1,0 +1,1 @@
+lib/asm/summaries.mli: Psg Spike_core

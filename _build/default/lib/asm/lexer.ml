@@ -1,0 +1,120 @@
+type token =
+  | Ident of string
+  | Int of int
+  | Directive of string
+  | Comma
+  | Colon
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Equals
+
+exception Error of { line : int; message : string }
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %S" s
+  | Int n -> Format.fprintf ppf "integer %d" n
+  | Directive d -> Format.fprintf ppf "directive .%s" d
+  | Comma -> Format.pp_print_string ppf "','"
+  | Colon -> Format.pp_print_string ppf "':'"
+  | Lparen -> Format.pp_print_string ppf "'('"
+  | Rparen -> Format.pp_print_string ppf "')'"
+  | Lbracket -> Format.pp_print_string ppf "'['"
+  | Rbracket -> Format.pp_print_string ppf "']'"
+  | Lbrace -> Format.pp_print_string ppf "'{'"
+  | Rbrace -> Format.pp_print_string ppf "'}'"
+  | Equals -> Format.pp_print_string ppf "'='"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize_line line_number line =
+  let n = String.length line in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let fail message = raise (Error { line = line_number; message }) in
+  let rec scan i =
+    if i >= n then ()
+    else
+      let c = line.[i] in
+      if c = ' ' || c = '\t' || c = '\r' then scan (i + 1)
+      else if c = '#' then () (* comment to end of line *)
+      else if c = ',' then begin
+        emit Comma;
+        scan (i + 1)
+      end
+      else if c = ':' then begin
+        emit Colon;
+        scan (i + 1)
+      end
+      else if c = '(' then begin
+        emit Lparen;
+        scan (i + 1)
+      end
+      else if c = ')' then begin
+        emit Rparen;
+        scan (i + 1)
+      end
+      else if c = '[' then begin
+        emit Lbracket;
+        scan (i + 1)
+      end
+      else if c = ']' then begin
+        emit Rbracket;
+        scan (i + 1)
+      end
+      else if c = '{' then begin
+        emit Lbrace;
+        scan (i + 1)
+      end
+      else if c = '}' then begin
+        emit Rbrace;
+        scan (i + 1)
+      end
+      else if c = '=' then begin
+        emit Equals;
+        scan (i + 1)
+      end
+      else if c = '.' then begin
+        let j = ref (i + 1) in
+        while !j < n && is_ident_char line.[!j] do
+          incr j
+        done;
+        if !j = i + 1 then fail "expected directive name after '.'";
+        emit (Directive (String.sub line (i + 1) (!j - i - 1)));
+        scan !j
+      end
+      else if is_digit c || (c = '-' && i + 1 < n && is_digit line.[i + 1]) then begin
+        let j = ref (if c = '-' then i + 1 else i) in
+        while !j < n && is_digit line.[!j] do
+          incr j
+        done;
+        let text = String.sub line i (!j - i) in
+        (match int_of_string_opt text with
+        | Some v -> emit (Int v)
+        | None -> fail (Printf.sprintf "integer %s out of range" text));
+        scan !j
+      end
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char line.[!j] do
+          incr j
+        done;
+        emit (Ident (String.sub line i (!j - i)));
+        scan !j
+      end
+      else fail (Printf.sprintf "unexpected character %C" c)
+  in
+  scan 0;
+  List.rev !tokens
+
+let tokenize source =
+  String.split_on_char '\n' source
+  |> List.mapi (fun i line -> (i + 1, tokenize_line (i + 1) line))
+  |> List.filter (fun (_, tokens) -> tokens <> [])

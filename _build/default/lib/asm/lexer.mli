@@ -1,0 +1,29 @@
+(** Line-oriented lexer for the textual assembly format.
+
+    The format is line-based: every directive, label definition and
+    instruction occupies one line.  [#] starts a comment running to the end
+    of the line.  The lexer produces one token list per non-blank line,
+    tagged with its 1-based line number; the parser consumes lines. *)
+
+type token =
+  | Ident of string  (** mnemonics, register names, labels, routine names *)
+  | Int of int  (** decimal integers, possibly negative *)
+  | Directive of string  (** [.routine], [.entry], ... without the dot *)
+  | Comma
+  | Colon
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Equals
+
+val pp_token : Format.formatter -> token -> unit
+
+exception Error of { line : int; message : string }
+
+val tokenize : string -> (int * token list) list
+(** [tokenize source] splits [source] into lines and lexes each; blank and
+    comment-only lines are dropped.
+    @raise Error on an unexpected character. *)

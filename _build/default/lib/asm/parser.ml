@@ -1,0 +1,146 @@
+open Spike_isa
+open Spike_ir
+
+exception Error of { line : int; message : string }
+
+let fail line fmt = Format.kasprintf (fun message -> raise (Error { line; message })) fmt
+
+let reg line name =
+  match Reg.of_name name with
+  | Some r -> r
+  | None -> fail line "unknown register %s" name
+
+(* Parse one instruction from its token list. *)
+let instruction line tokens =
+  let module L = Lexer in
+  let reg = reg line in
+  match tokens with
+  | [ L.Ident "li"; L.Ident d; L.Comma; L.Int imm ] -> Insn.Li { dst = reg d; imm }
+  | [ L.Ident "lda"; L.Ident d; L.Comma; L.Int offset; L.Lparen; L.Ident b; L.Rparen ] ->
+      Insn.Lda { dst = reg d; base = reg b; offset }
+  | [ L.Ident "mov"; L.Ident s; L.Comma; L.Ident d ] -> Insn.Mov { dst = reg d; src = reg s }
+  | [ L.Ident "ldq"; L.Ident d; L.Comma; L.Int offset; L.Lparen; L.Ident b; L.Rparen ] ->
+      Insn.Load { dst = reg d; base = reg b; offset }
+  | [ L.Ident "stq"; L.Ident s; L.Comma; L.Int offset; L.Lparen; L.Ident b; L.Rparen ] ->
+      Insn.Store { src = reg s; base = reg b; offset }
+  | [ L.Ident "br"; L.Ident target ] -> Insn.Br { target }
+  | [ L.Ident "jmp"; L.Lparen; L.Ident r; L.Rparen ] -> Insn.Jump_unknown { target = reg r }
+  | [ L.Ident "bsr"; L.Ident ra; L.Comma; L.Ident name ] when ra = "ra" ->
+      Insn.Call { callee = Insn.Direct name }
+  | [ L.Ident "jsr"; L.Ident ra; L.Comma; L.Lparen; L.Ident r; L.Rparen ] when ra = "ra" ->
+      Insn.Call { callee = Insn.Indirect (reg r, None) }
+  | L.Ident "jsr" :: L.Ident ra :: L.Comma :: L.Lparen :: L.Ident r :: L.Rparen
+    :: L.Comma :: L.Lbracket :: rest
+    when ra = "ra" ->
+      let rec names acc = function
+        | [ L.Ident n; L.Rbracket ] -> List.rev (n :: acc)
+        | L.Ident n :: L.Comma :: rest -> names (n :: acc) rest
+        | _ -> fail line "malformed jsr target list"
+      in
+      Insn.Call { callee = Insn.Indirect (reg r, Some (names [] rest)) }
+  | [ L.Ident "ret" ] -> Insn.Ret
+  | [ L.Ident "nop" ] -> Insn.Nop
+  | L.Ident "switch" :: L.Ident r :: L.Comma :: L.Lbracket :: rest ->
+      let rec labels acc = function
+        | [ L.Ident l; L.Rbracket ] -> List.rev (l :: acc)
+        | L.Ident l :: L.Comma :: rest -> labels (l :: acc) rest
+        | _ -> fail line "malformed switch table"
+      in
+      Insn.Switch { index = reg r; table = Array.of_list (labels [] rest) }
+  | [ L.Ident m; L.Ident s1; L.Comma; L.Ident s2; L.Comma; L.Ident d ] -> (
+      match Insn.binop_of_name m with
+      | Some op -> Insn.Binop { op; dst = reg d; src1 = reg s1; src2 = Insn.Reg (reg s2) }
+      | None -> fail line "unknown mnemonic %s" m)
+  | [ L.Ident m; L.Ident s1; L.Comma; L.Int i; L.Comma; L.Ident d ] -> (
+      match Insn.binop_of_name m with
+      | Some op -> Insn.Binop { op; dst = reg d; src1 = reg s1; src2 = Insn.Imm i }
+      | None -> fail line "unknown mnemonic %s" m)
+  | [ L.Ident m; L.Ident s; L.Comma; L.Ident target ] -> (
+      match Insn.cond_of_name m with
+      | Some cond -> Insn.Bcond { cond; src = reg s; target }
+      | None -> fail line "unknown mnemonic %s" m)
+  | L.Ident m :: _ -> fail line "cannot parse %s instruction" m
+  | _ -> fail line "expected an instruction"
+
+type partial_routine = {
+  name : string;
+  exported : bool;
+  mutable entries : string list; (* reversed *)
+  mutable labels : (string * int) list; (* reversed *)
+  mutable insns : Insn.t list; (* reversed *)
+}
+
+let parse_lines lines =
+  let module L = Lexer in
+  let main = ref None in
+  let routines = ref [] (* reversed *) in
+  let current = ref None in
+  let finish_current line =
+    match !current with
+    | None -> fail line ".end without .routine"
+    | Some p ->
+        let insns = Array.of_list (List.rev p.insns) in
+        let entries =
+          match List.rev p.entries with
+          | [] ->
+              let l = p.name ^ "$entry" in
+              if not (List.mem_assoc l p.labels) then p.labels <- (l, 0) :: p.labels;
+              [ l ]
+          | declared -> declared
+        in
+        let routine =
+          Routine.make ~exported:p.exported ~name:p.name ~entries
+            ~labels:(List.rev p.labels) insns
+        in
+        routines := routine :: !routines;
+        current := None
+  in
+  List.iter
+    (fun (line, tokens) ->
+      match (tokens, !current) with
+      | [ L.Directive "main"; L.Ident name ], None -> (
+          match !main with
+          | None -> main := Some name
+          | Some _ -> fail line "duplicate .main directive")
+      | L.Directive "routine" :: L.Ident name :: rest, None ->
+          let exported =
+            match rest with
+            | [] -> false
+            | [ L.Directive "exported" ] -> true
+            | _ -> fail line "malformed .routine directive"
+          in
+          current := Some { name; exported; entries = []; labels = []; insns = [] }
+      | [ L.Directive "end" ], Some _ -> finish_current line
+      | [ L.Directive "entry"; L.Ident label ], Some p ->
+          p.entries <- label :: p.entries
+      | [ L.Ident label; L.Colon ], Some p ->
+          if List.mem_assoc label p.labels then fail line "duplicate label %s" label
+          else p.labels <- (label, List.length p.insns) :: p.labels
+      | _, Some p -> p.insns <- instruction line tokens :: p.insns
+      | _, None -> fail line "expected .main or .routine")
+    lines;
+  (match !current with
+  | Some p -> fail 0 "routine %s not closed with .end" p.name
+  | None -> ());
+  match !main with
+  | None -> fail 0 "missing .main directive"
+  | Some main -> Program.make ~main (List.rev !routines)
+
+let program_of_string source =
+  match parse_lines (Lexer.tokenize source) with
+  | program -> program
+  | exception Lexer.Error { line; message } -> raise (Error { line; message })
+  | exception Invalid_argument message -> raise (Error { line = 0; message })
+
+let program_of_file path =
+  let ic = open_in_bin path in
+  let source =
+    match really_input_string ic (in_channel_length ic) with
+    | s ->
+        close_in ic;
+        s
+    | exception e ->
+        close_in_noerr ic;
+        raise e
+  in
+  program_of_string source

@@ -1,0 +1,35 @@
+(** Recursive-descent parser for the textual assembly format.
+
+    Grammar (one construct per line):
+    {v
+    program    ::= ".main" NAME  routine*
+    routine    ::= ".routine" NAME [".exported"]  item*  ".end"
+    item       ::= ".entry" LABEL | LABEL ":" | instruction
+    instruction::= "li" REG "," INT
+                 | "lda" REG "," INT "(" REG ")"
+                 | "mov" REG "," REG
+                 | BINOP REG "," (REG | INT) "," REG
+                 | "ldq" REG "," INT "(" REG ")"
+                 | "stq" REG "," INT "(" REG ")"
+                 | "br" LABEL
+                 | BCOND REG "," LABEL
+                 | "switch" REG "," "[" LABEL ("," LABEL)* "]"
+                 | "jmp" "(" REG ")"
+                 | "bsr" "ra" "," NAME
+                 | "jsr" "ra" "," "(" REG ")" ["," "[" NAME ("," NAME)* "]"]
+                 | "ret" | "nop"
+    v}
+    [#] starts a comment.  The parser validates nothing beyond syntax; run
+    {!Spike_ir.Validate.check} on the result. *)
+
+open Spike_ir
+
+exception Error of { line : int; message : string }
+(** Raised on syntax errors, with the 1-based source line. *)
+
+val program_of_string : string -> Program.t
+(** @raise Error on malformed input (including {!Lexer.Error}, re-raised in
+    this exception). *)
+
+val program_of_file : string -> Program.t
+(** Reads and parses a file.  @raise Sys_error / Error. *)

@@ -1,0 +1,15 @@
+open Spike_ir
+
+(* Routine.pp already prints the exact concrete syntax; the program printer
+   adds the .main header.  Keeping the syntax in one place (Routine.pp /
+   Insn.pp) is what makes the round-trip guarantee cheap to maintain. *)
+
+let pp_program = Program.pp
+let to_string p = Format.asprintf "%a" pp_program p
+
+let to_file path p =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  pp_program ppf p;
+  Format.pp_print_flush ppf ();
+  close_out oc

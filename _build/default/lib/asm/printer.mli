@@ -1,0 +1,11 @@
+(** Pretty-printer for programs in the textual assembly format.
+
+    Guaranteed inverse of {!Parser}: for every well-formed program [p],
+    [Parser.program_of_string (Printer.to_string p)] reconstructs [p]
+    (same routines, labels, entries and instructions). *)
+
+open Spike_ir
+
+val pp_program : Format.formatter -> Program.t -> unit
+val to_string : Program.t -> string
+val to_file : string -> Program.t -> unit

@@ -1,0 +1,108 @@
+open Spike_support
+open Spike_isa
+open Spike_core
+
+exception Error of { line : int; message : string }
+
+let fail line fmt = Format.kasprintf (fun message -> raise (Error { line; message })) fmt
+
+let reg line name =
+  match Reg.of_name name with
+  | Some r -> r
+  | None -> fail line "unknown register %s" name
+
+(* [used = { a0 , a1 }] — the brace list may be empty. *)
+let set_line line tokens =
+  let module L = Lexer in
+  match tokens with
+  | L.Ident field :: L.Equals :: L.Lbrace :: rest ->
+      let rec members acc = function
+        | [ L.Rbrace ] -> acc
+        | [ L.Ident n; L.Rbrace ] -> Regset.add (reg line n) acc
+        | L.Ident n :: L.Comma :: rest -> members (Regset.add (reg line n) acc) rest
+        | _ -> fail line "malformed register set"
+      in
+      (field, members Regset.empty rest)
+  | _ -> fail line "expected '<field> = { ... }'"
+
+type partial = {
+  name : string;
+  mutable used : Regset.t option;
+  mutable defined : Regset.t option;
+  mutable killed : Regset.t option;
+}
+
+let of_string source =
+  let module L = Lexer in
+  let entries = ref [] in
+  let current = ref None in
+  let finish line =
+    match !current with
+    | None -> fail line ".end without .summary"
+    | Some p ->
+        let field what = function
+          | Some s -> s
+          | None -> fail line "summary %s is missing its %s set" p.name what
+        in
+        entries :=
+          ( p.name,
+            {
+              Psg.x_used = field "used" p.used;
+              x_defined = field "defined" p.defined;
+              x_killed = field "killed" p.killed;
+            } )
+          :: !entries;
+        current := None
+  in
+  let lines =
+    match Lexer.tokenize source with
+    | lines -> lines
+    | exception Lexer.Error { line; message } -> raise (Error { line; message })
+  in
+  List.iter
+    (fun (line, tokens) ->
+      match (tokens, !current) with
+      | [ L.Directive "summary"; L.Ident name ], None ->
+          current := Some { name; used = None; defined = None; killed = None }
+      | [ L.Directive "end" ], Some _ -> finish line
+      | _, Some p -> (
+          match set_line line tokens with
+          | "used", s -> p.used <- Some s
+          | "defined", s -> p.defined <- Some s
+          | "killed", s -> p.killed <- Some s
+          | field, _ -> fail line "unknown field %s" field)
+      | _, None -> fail line "expected .summary")
+    lines;
+  (match !current with
+  | Some p -> fail 0 "summary %s not closed with .end" p.name
+  | None -> ());
+  List.rev !entries
+
+let of_file path =
+  let ic = open_in_bin path in
+  let source =
+    match really_input_string ic (in_channel_length ic) with
+    | s ->
+        close_in ic;
+        s
+    | exception e ->
+        close_in_noerr ic;
+        raise e
+  in
+  of_string source
+
+let lookup entries name =
+  List.find_map
+    (fun (n, c) -> if String.equal n name then Some c else None)
+    entries
+
+let to_string entries =
+  let buffer = Buffer.create 256 in
+  let set s = Regset.to_string ~name:Reg.name s in
+  List.iter
+    (fun (name, (c : Psg.external_class)) ->
+      Buffer.add_string buffer
+        (Printf.sprintf ".summary %s\n  used = %s\n  defined = %s\n  killed = %s\n.end\n"
+           name (set c.Psg.x_used) (set c.Psg.x_defined) (set c.Psg.x_killed)))
+    entries;
+  Buffer.contents buffer

@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Format Insn List Printf Routine Spike_ir Spike_isa Spike_support String Vec

@@ -1,0 +1,1 @@
+lib/cfg/cfg.mli: Format Insn Routine Spike_ir Spike_isa

@@ -1,0 +1,1 @@
+lib/cfg/defuse.ml: Array Cfg Insn Regset Routine Spike_ir Spike_isa Spike_support

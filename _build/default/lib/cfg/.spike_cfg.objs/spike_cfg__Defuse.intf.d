@@ -1,0 +1,1 @@
+lib/cfg/defuse.mli: Cfg Regset Spike_support

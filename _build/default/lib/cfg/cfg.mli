@@ -1,0 +1,69 @@
+(** Per-routine control-flow graphs.
+
+    Following the paper (§3.1), a basic block is ended by a branch {e or by
+    a call instruction}: the instruction after a call is the call's return
+    point and must start a fresh block so the PSG can place a return node
+    there.  Blocks are contiguous instruction ranges; arcs come from the
+    block's final instruction (branch targets, fallthrough, and the
+    fallthrough of a call to its return point). *)
+
+open Spike_isa
+open Spike_ir
+
+type ending =
+  | Ends_plain
+      (** fallthrough or unconditional/conditional branch *)
+  | Ends_call of Insn.callee
+      (** block terminated by a call; its single CFG successor is the
+          return point *)
+  | Ends_ret
+  | Ends_switch
+      (** multiway branch through a jump table *)
+  | Ends_jump_unknown
+      (** indirect jump with undetermined targets; conservatively an exit
+          at which all registers are live (§3.5) *)
+
+type block = {
+  id : int;
+  first : int;  (** index of the block's first instruction *)
+  last : int;  (** index of the block's final instruction (inclusive) *)
+  succs : int array;  (** successor block ids (deduplicated) *)
+  preds : int array;
+  ending : ending;
+}
+
+type t = {
+  routine : Routine.t;
+  blocks : block array;
+  block_of_insn : int array;  (** instruction index [->] containing block *)
+  entry_blocks : (string * int) list;  (** entry label [->] block id *)
+}
+
+val build : Routine.t -> t
+(** Partition the routine and compute arcs.  The routine must be
+    well-formed ({!Spike_ir.Validate}).  Per-block DEF/UBD sets are a
+    separate analysis stage; see {!Defuse}. *)
+
+val block_count : t -> int
+
+val arc_count : t -> int
+(** Intra-routine arcs (sum of successor degrees). *)
+
+val call_sites : t -> (int * Insn.callee) list
+(** Blocks ending in calls, in block order. *)
+
+val exit_blocks : t -> int list
+(** Blocks ending in [ret]. *)
+
+val unknown_jump_blocks : t -> int list
+
+val branch_instruction_count : t -> int
+(** Number of branch instructions ([br], conditional, switch) — the
+    "Branches/Routine" statistic of Table 3. *)
+
+val reverse_postorder : t -> int array
+(** Blocks in reverse postorder from the routine's entry blocks
+    (unreachable blocks appended at the end).  Good iteration order for the
+    forward direction; reversed, for backward dataflow. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Callee_saved Cfg Defuse Format List Phase1 Phase2 Program Psg Psg_build Regset Spike_cfg Spike_ir Spike_support Summary Timer

@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Cfg Defuse Format Program Psg Spike_cfg Spike_ir Spike_support Summary Timer

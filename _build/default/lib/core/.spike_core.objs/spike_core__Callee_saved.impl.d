@@ -1,0 +1,1 @@
+lib/core/callee_saved.ml: Array Calling_standard Cfg Fun Insn Int List Option Reg Regset Routine Spike_cfg Spike_ir Spike_isa Spike_support

@@ -1,0 +1,1 @@
+lib/core/callee_saved.mli: Cfg Regset Routine Spike_cfg Spike_ir Spike_isa Spike_support

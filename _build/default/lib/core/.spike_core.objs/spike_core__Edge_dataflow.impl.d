@@ -1,0 +1,1 @@
+lib/core/edge_dataflow.ml: Array Cfg Defuse Hashtbl Int Printf Regset Spike_cfg Spike_support

@@ -1,0 +1,1 @@
+lib/core/edge_dataflow.mli: Cfg Defuse Regset Spike_cfg Spike_support

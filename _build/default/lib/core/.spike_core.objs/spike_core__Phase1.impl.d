@@ -1,0 +1,1 @@
+lib/core/phase1.ml: Array Calling_standard List Psg Regset Spike_ir Spike_isa Spike_support Workset

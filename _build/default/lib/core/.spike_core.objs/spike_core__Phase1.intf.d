@@ -1,0 +1,1 @@
+lib/core/phase1.mli: Psg

@@ -1,0 +1,1 @@
+lib/core/phase2.ml: Array Calling_standard List Program Psg Regset Routine Spike_ir Spike_isa Spike_support Workset

@@ -1,0 +1,1 @@
+lib/core/phase2.mli: Psg

@@ -1,0 +1,1 @@
+lib/core/psg.ml: Array Format Insn List Printf Program Reg Regset Routine Spike_ir Spike_isa Spike_support

@@ -1,0 +1,1 @@
+lib/core/psg.mli: Format Insn Program Regset Spike_ir Spike_isa Spike_support

@@ -1,0 +1,1 @@
+lib/core/psg_build.ml: Array Callee_saved Cfg Edge_dataflow Fun Hashtbl Insn List Option Program Psg Regset Routine Spike_cfg Spike_ir Spike_isa Spike_support Vec

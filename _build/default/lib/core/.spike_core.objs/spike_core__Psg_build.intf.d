@@ -1,0 +1,1 @@
+lib/core/psg_build.mli: Cfg Defuse Program Psg Regset Spike_cfg Spike_ir Spike_support

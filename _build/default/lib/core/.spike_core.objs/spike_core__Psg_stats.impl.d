@@ -1,0 +1,1 @@
+lib/core/psg_stats.ml: Array Format Psg

@@ -1,0 +1,1 @@
+lib/core/psg_stats.mli: Format Psg

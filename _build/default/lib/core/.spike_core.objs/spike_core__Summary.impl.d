@@ -1,0 +1,1 @@
+lib/core/summary.ml: Array Calling_standard Format List Option Program Psg Reg Regset Routine Spike_ir Spike_isa Spike_support

@@ -1,0 +1,1 @@
+lib/core/summary.mli: Format Program Psg Regset Spike_ir Spike_support

@@ -1,0 +1,90 @@
+open Spike_support
+open Spike_ir
+open Spike_cfg
+
+type t = {
+  program : Program.t;
+  cfgs : Cfg.t array;
+  defuses : Defuse.t array;
+  psg : Psg.t;
+  call_classes : Summary.call_class array;
+  summaries : Summary.t array;
+  timer : Timer.t;
+  phase1_iterations : int;
+  phase2_iterations : int;
+  branch_nodes : bool;
+  externals : string -> Psg.external_class option;
+  callee_saved_filter : bool;
+}
+
+let stage_cfg_build = "CFG Build"
+let stage_init = "Initialization"
+let stage_psg_build = "PSG Build"
+let stage_phase1 = "Phase 1"
+let stage_phase2 = "Phase 2"
+
+let run ?(branch_nodes = true) ?(externals = fun _ -> None)
+    ?(callee_saved_filter = true) program =
+  let timer = Timer.create () in
+  let routines = Program.routines program in
+  let cfgs =
+    Timer.record timer stage_cfg_build (fun () -> Array.map Cfg.build routines)
+  in
+  let defuses, entry_filters =
+    Timer.record timer stage_init (fun () ->
+        let defuses = Array.map Defuse.compute cfgs in
+        let filters =
+          if callee_saved_filter then
+            Array.mapi
+              (fun r cfg -> Callee_saved.saved_and_restored routines.(r) cfg)
+              cfgs
+          else Array.map (fun _ -> Regset.empty) cfgs
+        in
+        (defuses, filters))
+  in
+  let psg =
+    Timer.record timer stage_psg_build (fun () ->
+        Psg_build.build ~branch_nodes ~entry_filters ~externals program cfgs defuses)
+  in
+  let phase1_iterations, call_classes =
+    Timer.record timer stage_phase1 (fun () ->
+        let iterations = Phase1.run psg in
+        (iterations, Summary.extract_call_classes psg))
+  in
+  let phase2_iterations, summaries =
+    Timer.record timer stage_phase2 (fun () ->
+        let iterations = Phase2.run psg in
+        (iterations, Summary.extract psg call_classes))
+  in
+  {
+    program;
+    cfgs;
+    defuses;
+    psg;
+    call_classes;
+    summaries;
+    timer;
+    phase1_iterations;
+    phase2_iterations;
+    branch_nodes;
+    externals;
+    callee_saved_filter;
+  }
+
+let rerun t program =
+  run ~branch_nodes:t.branch_nodes ~externals:t.externals
+    ~callee_saved_filter:t.callee_saved_filter program
+
+let summary_of t name = Summary.find t.summaries t.program name
+let site_class t info = Summary.site_class t.psg t.call_classes info
+let total_seconds t = Timer.total t.timer
+
+let pp_times ppf t =
+  let total = total_seconds t in
+  Format.fprintf ppf "@[<v>total dataflow time: %.4fs" total;
+  List.iter
+    (fun (stage, secs) ->
+      Format.fprintf ppf "@ %-16s %.4fs (%4.1f%%)" stage secs
+        (if total > 0.0 then 100.0 *. secs /. total else 0.0))
+    (Timer.stages t.timer);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,65 @@
+(** The end-to-end interprocedural dataflow analysis driver.
+
+    Runs the five stages the paper times separately (Figure 13):
+    {ol {- {b CFG Build} — per-routine control-flow graphs;}
+        {- {b Initialization} — per-block DEF/UBD sets and the §3.4
+           callee-saved save/restore detection;}
+        {- {b PSG Build} — program summary graph nodes and labelled edges;}
+        {- {b Phase 1} — call-used / call-defined / call-killed;}
+        {- {b Phase 2} — live-at-entry / live-at-exit.}}
+
+    Stage wall-clock times accumulate in the result's {!Spike_support.Timer.t}
+    under the stage-name constants below. *)
+
+open Spike_support
+open Spike_ir
+open Spike_cfg
+
+type t = {
+  program : Program.t;
+  cfgs : Cfg.t array;
+  defuses : Defuse.t array;
+  psg : Psg.t;
+  call_classes : Summary.call_class array;  (** indexed by routine *)
+  summaries : Summary.t array;  (** indexed by routine *)
+  timer : Timer.t;
+  phase1_iterations : int;
+  phase2_iterations : int;
+  branch_nodes : bool;  (** configuration, for {!rerun} *)
+  externals : string -> Psg.external_class option;
+  callee_saved_filter : bool;
+}
+
+val stage_cfg_build : string
+val stage_init : string
+val stage_psg_build : string
+val stage_phase1 : string
+val stage_phase2 : string
+
+val run :
+  ?branch_nodes:bool ->
+  ?externals:(string -> Psg.external_class option) ->
+  ?callee_saved_filter:bool ->
+  Program.t ->
+  t
+(** Analyse a whole program.  [branch_nodes] (default [true]) controls
+    §3.6 branch-node insertion.  [externals] supplies §3.5 summaries for
+    call targets outside the image (shared libraries); uncovered names get
+    the calling-standard assumption.  The program must validate
+    ({!Spike_ir.Validate.check}); behaviour on ill-formed programs is
+    unspecified.  [callee_saved_filter] (default [true]) controls the §3.4
+    filter — disabling it is an ablation that shows how much precision the
+    save/restore transparency buys. *)
+
+val rerun : t -> Program.t -> t
+(** Re-analyse a transformed program under the same configuration
+    (branch nodes, external summaries) — what the optimizer uses between
+    passes. *)
+
+val summary_of : t -> string -> Summary.t option
+(** Summary of a routine by name. *)
+
+val site_class : t -> Psg.call_info -> Summary.call_class
+
+val total_seconds : t -> float
+val pp_times : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+(** Detection of callee-saved registers that a routine saves and restores
+    (paper §3.4).
+
+    A conforming routine preserves the callee-saved registers it touches by
+    storing them to its stack frame in the prologue and reloading them
+    before returning.  Such registers must not appear call-used,
+    call-killed or call-defined to the routine's callers, so they are
+    removed from the summary an entry node exports.
+
+    The detector is deliberately conservative: it recognises the standard
+    prologue/epilogue idiom and reports a register only when the evidence
+    is complete.  A register [s] is reported iff
+
+    - the routine has a single entry and no indirect jumps with unknown
+      targets (which could leave without restoring);
+    - the entry block stores [s] to a stack slot [off(sp)] before any
+      definition of [s];
+    - every [ret] block reloads [s] from the same slot, with no later
+      definition of [s] before the [ret];
+    - no other instruction stores to that slot;
+    - the only definitions of [sp] are a single leading frame allocation
+      [lda sp, -N(sp)] in the entry block, matched by [lda sp, N(sp)]
+      immediately before each [ret] and after the reloads (or no [sp]
+      adjustment at all). *)
+
+open Spike_support
+open Spike_ir
+open Spike_cfg
+
+type site = {
+  reg : Spike_isa.Reg.t;
+  save_index : int;  (** the prologue store *)
+  restore_indexes : int list;  (** one reload per [ret] block *)
+}
+
+val sites : Routine.t -> Cfg.t -> site list
+(** The detected save/restore idioms, with instruction positions — the
+    optimizer's raw material for the Figure 1(d) transformation. *)
+
+val saved_and_restored : Routine.t -> Cfg.t -> Regset.t
+(** Just the registers: the §3.4 summary filter. *)

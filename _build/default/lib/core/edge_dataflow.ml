@@ -1,0 +1,81 @@
+open Spike_support
+open Spike_cfg
+
+type sets = { may_use : Regset.t; may_def : Regset.t; must_def : Regset.t }
+
+let empty = { may_use = Regset.empty; may_def = Regset.empty; must_def = Regset.empty }
+let top_must = { may_use = Regset.empty; may_def = Regset.empty; must_def = Regset.full }
+
+let join a b =
+  {
+    may_use = Regset.union a.may_use b.may_use;
+    may_def = Regset.union a.may_def b.may_def;
+    must_def = Regset.inter a.must_def b.must_def;
+  }
+
+let sets_equal a b =
+  Regset.equal a.may_use b.may_use
+  && Regset.equal a.may_def b.may_def
+  && Regset.equal a.must_def b.must_def
+
+let apply_block ~def ~ubd out =
+  {
+    may_use = Regset.union ubd (Regset.diff out.may_use def);
+    may_def = Regset.union out.may_def def;
+    must_def = Regset.union out.must_def def;
+  }
+
+type solution = {
+  position : (int, int) Hashtbl.t;  (* block id -> index into [ins] *)
+  ins : sets array;
+}
+
+let solve ~cfg ~defuse ~rpo_position ~blocks ~sink =
+  let n = Array.length blocks in
+  let position = Hashtbl.create (2 * n) in
+  (* Backward dataflow converges fastest visiting a block after its
+     successors, i.e. in descending reverse-postorder position. *)
+  let order = Array.copy blocks in
+  Array.sort (fun a b -> Int.compare rpo_position.(b) rpo_position.(a)) order;
+  Array.iteri (fun i b -> Hashtbl.replace position b i) order;
+  let ins = Array.make n { empty with must_def = Regset.full } in
+  let out_of b =
+    if b = sink then empty
+    else begin
+      let acc = ref top_must and found = ref false in
+      Array.iter
+        (fun s ->
+          match Hashtbl.find_opt position s with
+          | Some i ->
+              found := true;
+              acc := join !acc ins.(i)
+          | None -> ())
+        cfg.Cfg.blocks.(b).Cfg.succs;
+      (* Construction guarantees every non-sink subgraph block lies on a
+         path to the sink, hence has a subgraph successor. *)
+      assert !found;
+      !acc
+    end
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i b ->
+        let next =
+          apply_block ~def:(Defuse.def defuse b) ~ubd:(Defuse.ubd defuse b) (out_of b)
+        in
+        if not (sets_equal next ins.(i)) then begin
+          ins.(i) <- next;
+          changed := true
+        end)
+      order
+  done;
+  { position; ins }
+
+let mem sol b = Hashtbl.mem sol.position b
+
+let in_of sol b =
+  match Hashtbl.find_opt sol.position b with
+  | Some i -> sol.ins.(i)
+  | None -> invalid_arg (Printf.sprintf "Edge_dataflow.in_of: block %d not in subgraph" b)

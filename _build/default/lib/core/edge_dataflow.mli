@@ -1,0 +1,56 @@
+(** The Figure-6 dataflow that labels one flow-summary edge.
+
+    Given the CFG subgraph made of the basic blocks on the paths a
+    flow-summary edge [E = (N_X, N_Y)] represents, this solver computes for
+    every subgraph block [B] the sets
+
+    - [MAY-USE_IN[B]]: registers used before defined on some path from the
+      start of [B] to the location of [N_Y];
+    - [MAY-DEF_IN[B]]: registers defined on some such path;
+    - [MUST-DEF_IN[B]]: registers defined on all such paths.
+
+    The edge label is then read off at the source's location.  The sink
+    block's OUT sets are the boundary (all empty); meets are taken over the
+    successors {e inside the subgraph} only, matching the paper's
+    construction where the subgraph contains exactly the blocks and arcs on
+    X-to-Y paths. *)
+
+open Spike_support
+open Spike_cfg
+
+type sets = { may_use : Regset.t; may_def : Regset.t; must_def : Regset.t }
+
+val empty : sets
+(** [{may_use = ∅; may_def = ∅; must_def = ∅}] — the boundary at the sink. *)
+
+val top_must : sets
+(** [{may_use = ∅; may_def = ∅; must_def = full}] — identity of the meet. *)
+
+val join : sets -> sets -> sets
+(** Pointwise path-merge: union for the MAY sets, intersection for
+    MUST-DEF. *)
+
+val apply_block : def:Regset.t -> ubd:Regset.t -> sets -> sets
+(** Transfer function of a block: [IN] from [OUT]
+    (Figure 6's first three equations). *)
+
+type solution
+
+val solve :
+  cfg:Cfg.t ->
+  defuse:Defuse.t ->
+  rpo_position:int array ->
+  blocks:int array ->
+  sink:int ->
+  solution
+(** [solve ~cfg ~defuse ~rpo_position ~blocks ~sink] runs the dataflow to
+    fixpoint over the subgraph [blocks] (which must contain [sink]).
+    [rpo_position.(b)] is block [b]'s index in the routine's reverse
+    postorder; it only affects convergence speed.  Every non-sink subgraph
+    block must have at least one successor inside the subgraph. *)
+
+val in_of : solution -> int -> sets
+(** IN sets of a subgraph block.
+    @raise Invalid_argument if the block is not in the subgraph. *)
+
+val mem : solution -> int -> bool

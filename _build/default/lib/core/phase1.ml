@@ -1,0 +1,193 @@
+open Spike_support
+open Spike_isa
+
+(* Compose the call instruction's own effect with a callee summary: the
+   caller observes the call's definitions first (they shadow callee uses),
+   then the callee's summary. *)
+let fold_call_effect ~call_def ~call_use ~may_use ~may_def ~must_def =
+  ( Regset.union call_use (Regset.diff may_use call_def),
+    Regset.union call_def may_def,
+    Regset.union call_def must_def )
+
+let unknown_assumption ~call_def ~call_use =
+  fold_call_effect ~call_def ~call_use
+    ~may_use:Calling_standard.unknown_call_used
+    ~may_def:Calling_standard.unknown_call_killed
+    ~must_def:Calling_standard.unknown_call_defined
+
+let run (psg : Psg.t) =
+  let n = Psg.node_count psg in
+  let nodes = psg.nodes and edges = psg.edges in
+  (* --- Initialization ------------------------------------------------- *)
+  Array.iter
+    (fun (node : Psg.node) ->
+      match node.kind with
+      | Psg.Exit _ ->
+          node.may_use <- Regset.empty;
+          node.may_def <- Regset.empty;
+          node.must_def <- Regset.empty
+      | Psg.Unknown_exit _ ->
+          (* All bets are off past an unknown jump: everything may be used
+             and clobbered, nothing is guaranteed defined. *)
+          node.may_use <- Calling_standard.unknown_jump_live;
+          node.may_def <- Calling_standard.all_allocatable;
+          node.must_def <- Regset.empty
+      | Psg.Entry _ | Psg.Call _ | Psg.Return _ | Psg.Branch _ ->
+          node.may_use <- Regset.empty;
+          node.may_def <- Regset.empty;
+          node.must_def <- Regset.full)
+    nodes;
+  Array.iter
+    (fun (info : Psg.call_info) ->
+      let e = edges.(info.cr_edge) in
+      match info.targets with
+      | None ->
+          let may_use, may_def, must_def =
+            unknown_assumption ~call_def:info.call_def ~call_use:info.call_use
+          in
+          e.e_may_use <- may_use;
+          e.e_may_def <- may_def;
+          e.e_must_def <- must_def
+      | Some _ ->
+          (* Nothing known about the callee yet: only the call's own
+             effect.  MUST-DEF starts at top and shrinks. *)
+          e.e_may_use <- info.call_use;
+          e.e_may_def <- info.call_def;
+          e.e_must_def <- Regset.full)
+    psg.calls;
+  (* --- Worklist fixpoint ----------------------------------------------- *)
+  let worklist = Workset.create n in
+  let push id = Workset.push worklist id in
+  (* Seed with everything that has outgoing edges (sinks are fixed), in
+     callee-before-caller routine order and sink-to-source order within a
+     routine, so the first sweep already approximates the fixpoint. *)
+  let nodes_by_routine = Array.make (Spike_ir.Program.routine_count psg.program) [] in
+  Array.iter
+    (fun (node : Psg.node) ->
+      match node.kind with
+      | Psg.Exit _ | Psg.Unknown_exit _ -> ()
+      | Psg.Entry _ | Psg.Call _ | Psg.Return _ | Psg.Branch _ ->
+          let r = Psg.node_routine node.kind in
+          nodes_by_routine.(r) <- node.id :: nodes_by_routine.(r))
+    nodes;
+  List.iter
+    (fun r -> List.iter push nodes_by_routine.(r))
+    (Psg.callee_first_order psg);
+  let iterations = ref 0 in
+  let update_cr_edge (info : Psg.call_info) =
+    match info.targets with
+    | None -> false
+    | Some targets ->
+        (* Merge the summaries of every target the call may reach: entry
+           nodes for routines of the program, supplied classes for
+           external code (§3.5). *)
+        let may_use = ref Regset.empty
+        and may_def = ref Regset.empty
+        and must_def = ref Regset.full in
+        List.iter
+          (fun target ->
+            match target with
+            | Psg.Target_routine r ->
+                let entry = nodes.(Psg.primary_entry_node psg r) in
+                may_use := Regset.union !may_use entry.may_use;
+                may_def := Regset.union !may_def entry.may_def;
+                must_def := Regset.inter !must_def entry.must_def
+            | Psg.Target_external c ->
+                may_use := Regset.union !may_use c.Psg.x_used;
+                may_def := Regset.union !may_def c.Psg.x_killed;
+                must_def := Regset.inter !must_def c.Psg.x_defined)
+          targets;
+        let may_use, may_def, must_def =
+          fold_call_effect ~call_def:info.call_def ~call_use:info.call_use
+            ~may_use:!may_use ~may_def:!may_def ~must_def:!must_def
+        in
+        let e = edges.(info.cr_edge) in
+        if
+          Regset.equal e.e_may_use may_use
+          && Regset.equal e.e_may_def may_def
+          && Regset.equal e.e_must_def must_def
+        then false
+        else begin
+          e.e_may_use <- may_use;
+          e.e_may_def <- may_def;
+          e.e_must_def <- must_def;
+          true
+        end
+  in
+  (* Seed every resolved call-return edge once: external-only target lists
+     have no entry node to trigger the first update. *)
+  Array.iter (fun info -> ignore (update_cr_edge info)) psg.calls;
+  let full = 0xFFFF_FFFF in
+  while not (Workset.is_empty worklist) do
+    let id = Workset.pop worklist in
+    incr iterations;
+    let node = nodes.(id) in
+    let out = psg.out_edges.(id) in
+    let n_out = Array.length out in
+    if n_out > 0 then begin
+      (* Unboxed meet over the outgoing edges: union for the MAY halves,
+         intersection for MUST-DEF. *)
+      let mu_lo = ref 0 and mu_hi = ref 0 in
+      let md_lo = ref 0 and md_hi = ref 0 in
+      let sd_lo = ref full and sd_hi = ref full in
+      for k = 0 to n_out - 1 do
+        let e = edges.(Array.unsafe_get out k) in
+        let dst = nodes.(e.dst) in
+        let e_sd_lo = Regset.lo_bits e.e_must_def
+        and e_sd_hi = Regset.hi_bits e.e_must_def in
+        mu_lo :=
+          !mu_lo
+          lor Regset.lo_bits e.e_may_use
+          lor (Regset.lo_bits dst.may_use land lnot e_sd_lo);
+        mu_hi :=
+          !mu_hi
+          lor Regset.hi_bits e.e_may_use
+          lor (Regset.hi_bits dst.may_use land lnot e_sd_hi);
+        md_lo := !md_lo lor Regset.lo_bits e.e_may_def lor Regset.lo_bits dst.may_def;
+        md_hi := !md_hi lor Regset.hi_bits e.e_may_def lor Regset.hi_bits dst.may_def;
+        sd_lo := !sd_lo land (e_sd_lo lor Regset.lo_bits dst.must_def);
+        sd_hi := !sd_hi land (e_sd_hi lor Regset.hi_bits dst.must_def)
+      done;
+      (* §3.4: a routine's saved-and-restored callee-saved registers are
+         invisible to its callers. *)
+      (match node.kind with
+      | Psg.Entry { routine; _ } ->
+          let mask = psg.entry_filter.(routine) in
+          let m_lo = lnot (Regset.lo_bits mask) and m_hi = lnot (Regset.hi_bits mask) in
+          mu_lo := !mu_lo land m_lo;
+          mu_hi := !mu_hi land m_hi;
+          md_lo := !md_lo land m_lo;
+          md_hi := !md_hi land m_hi;
+          sd_lo := !sd_lo land m_lo;
+          sd_hi := !sd_hi land m_hi
+      | Psg.Exit _ | Psg.Call _ | Psg.Return _ | Psg.Branch _ | Psg.Unknown_exit _ -> ());
+      let changed =
+        !mu_lo <> Regset.lo_bits node.may_use
+        || !mu_hi <> Regset.hi_bits node.may_use
+        || !md_lo <> Regset.lo_bits node.may_def
+        || !md_hi <> Regset.hi_bits node.may_def
+        || !sd_lo <> Regset.lo_bits node.must_def
+        || !sd_hi <> Regset.hi_bits node.must_def
+      in
+      if changed then begin
+        node.may_use <- Regset.of_bits ~lo:!mu_lo ~hi:!mu_hi;
+        node.may_def <- Regset.of_bits ~lo:!md_lo ~hi:!md_hi;
+        node.must_def <- Regset.of_bits ~lo:!sd_lo ~hi:!sd_hi;
+        let in_edges = psg.in_edges.(id) in
+        for k = 0 to Array.length in_edges - 1 do
+          push edges.(Array.unsafe_get in_edges k).src
+        done;
+        match node.kind with
+        | Psg.Entry { routine; _ } ->
+            (* The routine's summary changed: refresh every call-return
+               edge that imports it. *)
+            List.iter
+              (fun call_index ->
+                let info = psg.calls.(call_index) in
+                if update_cr_edge info then push info.call_node)
+              psg.callers_of.(routine)
+        | Psg.Exit _ | Psg.Call _ | Psg.Return _ | Psg.Branch _ | Psg.Unknown_exit _ -> ()
+      end
+    end
+  done;
+  !iterations

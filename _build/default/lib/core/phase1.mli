@@ -1,0 +1,25 @@
+(** Phase 1 of the interprocedural dataflow (paper §3.2).
+
+    Computes, for every PSG node, the registers that may be used, may be
+    defined, and must be defined along paths from the node's location to
+    the end of its routine — including the effect of every (transitive)
+    call, propagated callee-to-caller across call-return edges.  On
+    convergence the sets at a routine's primary entry node are exactly the
+    registers [call-used], [call-killed] and [call-defined] by a call to
+    the routine.
+
+    Deviation from the paper's Figure 8, documented in DESIGN.md: at a node
+    with several outgoing edges the MAY sets combine by union and MUST-DEF
+    by intersection (the figure's literal equations union everything, which
+    would over-approximate must-definedness).
+
+    The §3.4 callee-saved filter is applied each time an entry node's sets
+    are recomputed, and the call instruction's own effect is folded into
+    the call-return edge label, so the summary seen by a caller is
+    [call ∘ callee]. *)
+
+val run : Psg.t -> int
+(** Runs to convergence, mutating the node sets and the call-return edge
+    labels in place (flow edge labels are never modified).  Returns the
+    number of node recomputations performed, a diagnostic for the
+    convergence behaviour. *)

@@ -1,0 +1,107 @@
+open Spike_support
+open Spike_isa
+open Spike_ir
+
+let run (psg : Psg.t) =
+  let n = Psg.node_count psg in
+  let nodes = psg.nodes and edges = psg.edges in
+  let program = psg.program in
+  (* Per-node constant contribution to liveness. *)
+  let seed = Array.make n Regset.empty in
+  let main_index =
+    match Program.find_index program (Program.main program) with
+    | Some i -> i
+    | None -> assert false (* guaranteed by Program.make *)
+  in
+  Array.iter
+    (fun (node : Psg.node) ->
+      match node.kind with
+      | Psg.Exit { routine; _ } ->
+          let r = Program.get program routine in
+          let s = ref Regset.empty in
+          if r.Routine.exported then
+            s := Regset.union !s Calling_standard.external_return_live;
+          if routine = main_index then s := Regset.union !s Calling_standard.return_regs;
+          seed.(node.id) <- !s
+      | Psg.Unknown_exit _ -> seed.(node.id) <- Calling_standard.unknown_jump_live
+      | Psg.Entry _ | Psg.Call _ | Psg.Return _ | Psg.Branch _ -> ())
+    nodes;
+  Array.iter (fun (node : Psg.node) -> node.may_use <- seed.(node.id)) nodes;
+  (* Return-to-exit links: an exit node's liveness accumulates the liveness
+     of every return point the routine can return to. *)
+  let return_links = Array.make n [] (* exit node id -> return node ids *) in
+  Array.iter
+    (fun (info : Psg.call_info) ->
+      match info.targets with
+      | None -> ()
+      | Some targets ->
+          List.iter
+            (fun target ->
+              match target with
+              | Psg.Target_external _ -> ()
+              | Psg.Target_routine r ->
+                  List.iter
+                    (fun exit_node ->
+                      return_links.(exit_node) <-
+                        info.return_node :: return_links.(exit_node))
+                    psg.exit_nodes.(r))
+            targets)
+    psg.calls;
+  let exit_nodes_of_return = Array.make n [] (* return node id -> exit node ids *) in
+  Array.iteri
+    (fun exit_node returns ->
+      List.iter
+        (fun ret ->
+          exit_nodes_of_return.(ret) <- exit_node :: exit_nodes_of_return.(ret))
+        returns)
+    return_links;
+  let worklist = Workset.create n in
+  let push id = Workset.push worklist id in
+  (* Liveness flows caller-to-callee: seed callers first (reverse of the
+     callee-first order), sinks before sources within each routine. *)
+  let nodes_by_routine = Array.make (Program.routine_count program) [] in
+  Array.iter
+    (fun (node : Psg.node) ->
+      let r = Psg.node_routine node.kind in
+      nodes_by_routine.(r) <- node.id :: nodes_by_routine.(r))
+    nodes;
+  List.iter
+    (fun r -> List.iter push nodes_by_routine.(r))
+    (List.rev (Psg.callee_first_order psg));
+  let iterations = ref 0 in
+  while not (Workset.is_empty worklist) do
+    let id = Workset.pop worklist in
+    incr iterations;
+    let node = nodes.(id) in
+    let live_lo = ref (Regset.lo_bits seed.(id))
+    and live_hi = ref (Regset.hi_bits seed.(id)) in
+    let out = psg.out_edges.(id) in
+    for k = 0 to Array.length out - 1 do
+      let e = edges.(Array.unsafe_get out k) in
+      let dst = nodes.(e.dst) in
+      live_lo :=
+        !live_lo
+        lor Regset.lo_bits e.e_may_use
+        lor (Regset.lo_bits dst.may_use land lnot (Regset.lo_bits e.e_must_def));
+      live_hi :=
+        !live_hi
+        lor Regset.hi_bits e.e_may_use
+        lor (Regset.hi_bits dst.may_use land lnot (Regset.hi_bits e.e_must_def))
+    done;
+    List.iter
+      (fun ret ->
+        live_lo := !live_lo lor Regset.lo_bits nodes.(ret).may_use;
+        live_hi := !live_hi lor Regset.hi_bits nodes.(ret).may_use)
+      return_links.(id);
+    if
+      !live_lo <> Regset.lo_bits node.may_use || !live_hi <> Regset.hi_bits node.may_use
+    then begin
+      node.may_use <- Regset.of_bits ~lo:!live_lo ~hi:!live_hi;
+      let in_edges = psg.in_edges.(id) in
+      for k = 0 to Array.length in_edges - 1 do
+        push edges.(Array.unsafe_get in_edges k).src
+      done;
+      List.iter push exit_nodes_of_return.(id)
+    end
+  done;
+  !iterations

@@ -1,0 +1,258 @@
+open Spike_support
+open Spike_isa
+open Spike_ir
+open Spike_cfg
+
+(* A source's paths begin either at the start of a block (entry and return
+   nodes) or at the dispatch of a block's terminating multiway branch
+   (branch nodes), i.e. after the block's own instructions. *)
+type source_mode = At_block_start | After_block
+
+type source = { src_node : int; src_block : int; mode : source_mode }
+
+let build ?(branch_nodes = true) ?entry_filters ?(externals = fun _ -> None) program
+    cfgs defuses =
+  let nroutines = Program.routine_count program in
+  (* §3.5: a call target resolves to a routine of the image, to external
+     code with a supplied summary, or to nothing (the calling-standard
+     assumption). *)
+  let resolve_name name =
+    match Program.find_index program name with
+    | Some i -> Some (Psg.Target_routine i)
+    | None -> (
+        match externals name with
+        | Some c -> Some (Psg.Target_external c)
+        | None -> None)
+  in
+  let resolve_targets callee =
+    match callee with
+    | Insn.Direct name -> Option.map (fun t -> [ t ]) (resolve_name name)
+    | Insn.Indirect (_, None) | Insn.Indirect (_, Some []) -> None
+    | Insn.Indirect (_, Some names) ->
+        let resolved = List.map resolve_name names in
+        if List.exists Option.is_none resolved then None
+        else Some (List.filter_map Fun.id resolved)
+  in
+  let nodes = Vec.create () in
+  let edges = Vec.create () in
+  let calls = Vec.create () in
+  let callers_of = Array.make nroutines [] in
+  let entry_nodes = Array.make nroutines [] in
+  let exit_nodes = Array.make nroutines [] in
+  let unknown_exit_nodes = Array.make nroutines [] in
+  let new_node kind =
+    let id = Vec.length nodes in
+    Vec.push nodes
+      {
+        Psg.id;
+        kind;
+        may_use = Regset.empty;
+        may_def = Regset.empty;
+        must_def = Regset.empty;
+      };
+    id
+  in
+  let new_edge ekind src dst label =
+    let edge_id = Vec.length edges in
+    Vec.push edges
+      {
+        Psg.edge_id;
+        src;
+        dst;
+        ekind;
+        e_may_use = label.Edge_dataflow.may_use;
+        e_may_def = label.Edge_dataflow.may_def;
+        e_must_def = label.Edge_dataflow.must_def;
+      };
+    edge_id
+  in
+  for r = 0 to nroutines - 1 do
+    let cfg = cfgs.(r) and defuse = defuses.(r) in
+    let nblocks = Cfg.block_count cfg in
+    (* --- Nodes and cut points --------------------------------------- *)
+    let sink_of_block = Array.make nblocks None in
+    let sources = ref [] in
+    List.iter
+      (fun (label, block) ->
+        let node = new_node (Psg.Entry { routine = r; label }) in
+        entry_nodes.(r) <- entry_nodes.(r) @ [ node ];
+        sources := { src_node = node; src_block = block; mode = At_block_start } :: !sources)
+      cfg.entry_blocks;
+    Array.iter
+      (fun (b : Cfg.block) ->
+        match b.ending with
+        | Ends_ret ->
+            let node = new_node (Psg.Exit { routine = r; block = b.id }) in
+            exit_nodes.(r) <- exit_nodes.(r) @ [ node ];
+            sink_of_block.(b.id) <- Some node
+        | Ends_jump_unknown ->
+            let node = new_node (Psg.Unknown_exit { routine = r; block = b.id }) in
+            unknown_exit_nodes.(r) <- unknown_exit_nodes.(r) @ [ node ];
+            sink_of_block.(b.id) <- Some node
+        | Ends_call callee ->
+            (* A call falls through, so validation guarantees a unique
+               successor: the return point. *)
+            assert (Array.length b.succs = 1);
+            let return_block = b.succs.(0) in
+            let call_node = new_node (Psg.Call { routine = r; block = b.id }) in
+            let return_node =
+              new_node (Psg.Return { routine = r; call_block = b.id; block = return_block })
+            in
+            sink_of_block.(b.id) <- Some call_node;
+            sources :=
+              { src_node = return_node; src_block = return_block; mode = At_block_start }
+              :: !sources;
+            let call_insn = cfg.routine.Routine.insns.(b.last) in
+            let cr_edge =
+              new_edge Psg.Call_return call_node return_node Edge_dataflow.top_must
+            in
+            let targets = resolve_targets callee in
+            let info =
+              {
+                Psg.call_node;
+                return_node;
+                cr_edge;
+                callee;
+                targets;
+                call_def = Insn.defs call_insn;
+                call_use = Insn.uses call_insn;
+              }
+            in
+            let call_index = Vec.length calls in
+            Vec.push calls info;
+            (match targets with
+            | Some resolved ->
+                List.iter
+                  (fun target ->
+                    match target with
+                    | Psg.Target_routine t ->
+                        callers_of.(t) <- call_index :: callers_of.(t)
+                    | Psg.Target_external _ -> ())
+                  resolved
+            | None -> ())
+        | Ends_switch when branch_nodes ->
+            let node = new_node (Psg.Branch { routine = r; block = b.id }) in
+            sink_of_block.(b.id) <- Some node;
+            sources := { src_node = node; src_block = b.id; mode = After_block } :: !sources
+        | Ends_switch | Ends_plain -> ())
+      cfg.blocks;
+    (* --- Flow-summary edges ------------------------------------------ *)
+    let rpo = Cfg.reverse_postorder cfg in
+    let rpo_position = Array.make nblocks 0 in
+    Array.iteri (fun pos b -> rpo_position.(b) <- pos) rpo;
+    (* Stamped visited maps, reused across traversals of this routine. *)
+    let fwd_stamp = Array.make nblocks (-1) and bwd_stamp = Array.make nblocks (-1) in
+    let stamp = ref 0 in
+    (* Forward reach from a source, stopping at cut blocks.  Returns the
+       sinks reached; marks fwd_stamp. *)
+    let forward_reach source =
+      incr stamp;
+      let s = !stamp in
+      let sinks = ref [] in
+      let rec visit b =
+        if fwd_stamp.(b) <> s then begin
+          fwd_stamp.(b) <- s;
+          match sink_of_block.(b) with
+          | Some sink -> if not (List.mem (sink, b) !sinks) then sinks := (sink, b) :: !sinks
+          | None -> Array.iter visit cfg.blocks.(b).succs
+        end
+      in
+      (match source.mode with
+      | At_block_start -> visit source.src_block
+      | After_block -> Array.iter visit cfg.blocks.(source.src_block).succs);
+      (s, List.rev !sinks)
+    in
+    (* Backward reach from a sink block, not crossing other cuts.  Marks
+       bwd_stamp; memoised per sink block. *)
+    let bwd_cache = Hashtbl.create 8 in
+    let backward_reach sink_block =
+      match Hashtbl.find_opt bwd_cache sink_block with
+      | Some (s, blocks) -> (s, blocks)
+      | None ->
+          incr stamp;
+          let s = !stamp in
+          let collected = Vec.create () in
+          let rec visit b =
+            if bwd_stamp.(b) <> s then begin
+              bwd_stamp.(b) <- s;
+              Vec.push collected b;
+              Array.iter
+                (fun p -> if sink_of_block.(p) = None then visit p)
+                cfg.blocks.(b).preds
+            end
+          in
+          visit sink_block;
+          let blocks = Vec.to_array collected in
+          Hashtbl.replace bwd_cache sink_block (s, blocks);
+          (s, blocks)
+    in
+    List.iter
+      (fun source ->
+        let fwd_s, sinks = forward_reach source in
+        List.iter
+          (fun (sink_node, sink_block) ->
+            let _bwd_s, bwd_blocks = backward_reach sink_block in
+            (* The subgraph of this edge: blocks on source-to-sink paths. *)
+            let subgraph =
+              Array.of_list
+                (List.filter
+                   (fun b -> fwd_stamp.(b) = fwd_s)
+                   (Array.to_list bwd_blocks))
+            in
+            let solution =
+              Edge_dataflow.solve ~cfg ~defuse ~rpo_position ~blocks:subgraph
+                ~sink:sink_block
+            in
+            let label =
+              match source.mode with
+              | At_block_start -> Edge_dataflow.in_of solution source.src_block
+              | After_block ->
+                  (* The branch node sits after the block's instructions:
+                     its label merges the IN sets of the dispatch
+                     targets inside the subgraph. *)
+                  Array.fold_left
+                    (fun acc succ ->
+                      if Edge_dataflow.mem solution succ then
+                        Edge_dataflow.join acc (Edge_dataflow.in_of solution succ)
+                      else acc)
+                    Edge_dataflow.top_must cfg.blocks.(source.src_block).succs
+            in
+            ignore (new_edge Psg.Flow source.src_node sink_node label))
+          sinks)
+      (List.rev !sources)
+  done;
+  (* --- Freeze ---------------------------------------------------------- *)
+  let nodes = Vec.to_array nodes in
+  let edges = Vec.to_array edges in
+  let out_lists = Array.make (Array.length nodes) []
+  and in_lists = Array.make (Array.length nodes) [] in
+  Array.iter
+    (fun (e : Psg.edge) ->
+      out_lists.(e.src) <- e.edge_id :: out_lists.(e.src);
+      in_lists.(e.dst) <- e.edge_id :: in_lists.(e.dst))
+    edges;
+  let out_edges = Array.map (fun l -> Array.of_list (List.rev l)) out_lists in
+  let in_edges = Array.map (fun l -> Array.of_list (List.rev l)) in_lists in
+  let entry_filter =
+    match entry_filters with
+    | Some filters ->
+        if Array.length filters <> nroutines then
+          invalid_arg "Psg_build.build: entry_filters length mismatch";
+        filters
+    | None ->
+        Array.init nroutines (fun r ->
+            Callee_saved.saved_and_restored (Program.get program r) cfgs.(r))
+  in
+  {
+    Psg.program;
+    nodes;
+    edges;
+    out_edges;
+    in_edges;
+    calls = Vec.to_array calls;
+    callers_of = Array.map List.rev callers_of;
+    entry_nodes;
+    exit_nodes;
+    unknown_exit_nodes;
+    entry_filter;
+  }

@@ -1,0 +1,35 @@
+(** PSG construction (paper §3.1 and §3.6).
+
+    For each routine the builder creates an entry node per entrance, an
+    exit node per [ret], a call node and a return node per call site, a
+    pseudo-exit per unknown-target indirect jump, and — when
+    [branch_nodes] is on — a branch node per multiway branch.  Call, exit,
+    unknown-exit and branch locations are {e cuts}: no flow-summary edge
+    crosses them.  A flow-summary edge is produced from source [S] (entry,
+    return or branch node) to sink [T] (call, exit, unknown-exit or branch
+    node) whenever a control-flow path connects their locations without
+    crossing another cut; its label is computed by {!Edge_dataflow} over
+    the subgraph of blocks on such paths.
+
+    With [branch_nodes = false] multiway branches are ordinary control
+    flow, reproducing the quadratic edge blow-up measured in Table 4. *)
+
+open Spike_support
+open Spike_ir
+open Spike_cfg
+
+val build :
+  ?branch_nodes:bool ->
+  ?entry_filters:Regset.t array ->
+  ?externals:(string -> Psg.external_class option) ->
+  Program.t ->
+  Cfg.t array ->
+  Defuse.t array ->
+  Psg.t
+(** [build program cfgs defuses] constructs the whole-program PSG.
+    [branch_nodes] defaults to [true].  [entry_filters] (one set per
+    routine, the §3.4 callee-saved filter) defaults to
+    {!Callee_saved.saved_and_restored} on every routine.  [externals]
+    supplies §3.5 compiler/linker summaries for call targets outside the
+    image; names it does not cover fall back to the calling-standard
+    assumption. *)

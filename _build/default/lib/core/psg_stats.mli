@@ -1,0 +1,21 @@
+(** PSG size statistics for the paper's Tables 3–5. *)
+
+type t = {
+  nodes : int;
+  edges : int;
+  flow_edges : int;
+  call_return_edges : int;
+  entry_nodes : int;
+  exit_nodes : int;
+  call_nodes : int;
+  return_nodes : int;
+  branch_nodes : int;
+  unknown_exit_nodes : int;
+}
+
+val of_psg : Psg.t -> t
+
+val nodes_per_routine : t -> routines:int -> float
+val edges_per_routine : t -> routines:int -> float
+
+val pp : Format.formatter -> t -> unit

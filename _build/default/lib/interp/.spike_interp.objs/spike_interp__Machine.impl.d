@@ -1,0 +1,1 @@
+lib/interp/machine.ml: Array Hashtbl Insn List Option Program Reg Routine Spike_ir Spike_isa

@@ -1,0 +1,1 @@
+lib/interp/machine.mli: Insn Program Reg Spike_ir Spike_isa

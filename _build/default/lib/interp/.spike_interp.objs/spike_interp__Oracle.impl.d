@@ -1,0 +1,1 @@
+lib/interp/oracle.ml: Analysis Array Calling_standard Format Insn List Machine Program Psg Reg Regset Routine Spike_cfg Spike_core Spike_ir Spike_isa Spike_support Summary

@@ -1,0 +1,1 @@
+lib/interp/oracle.mli: Analysis Format Machine Regset Spike_core Spike_support

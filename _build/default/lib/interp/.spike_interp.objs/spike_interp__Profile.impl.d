@@ -1,0 +1,1 @@
+lib/interp/profile.ml: Array Machine Program Routine Spike_ir

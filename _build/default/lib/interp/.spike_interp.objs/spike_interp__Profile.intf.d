@@ -1,0 +1,1 @@
+lib/interp/profile.mli: Machine Program Spike_ir

@@ -1,0 +1,65 @@
+(** Concrete execution of IR programs.
+
+    The interpreter gives the IR a full operational semantics so that
+    optimizations driven by the dataflow summaries can be validated by
+    before/after execution, and so the summaries themselves can be checked
+    against dynamically observed register traffic ({!Oracle}).
+
+    Machine model: 64 registers of OCaml [int] values (the two hardwired
+    zeros always read 0 and ignore writes), a sparse word-addressed memory
+    that reads 0 when unmapped, and a shadow call stack.  Every instruction
+    of routine [i] has the address [routine_address i + index]; [bsr]/[jsr]
+    write the return address into [ra] and [ret] jumps to whatever [ra]
+    holds, so a program that clobbers [ra] without restoring it traps —
+    deliberately, as a failure-injection surface for the tests.
+
+    Jump-table dispatch ([switch]) indexes its table modulo the table
+    length (absolute value), so arbitrary generated indices stay in range. *)
+
+open Spike_isa
+open Spike_ir
+
+val routine_address : int -> int
+(** Base address of routine [i] under the fixed addressing convention;
+    useful for materialising function pointers (e.g. [li pv, addr] before
+    [jsr]). *)
+
+val address_of_name : Program.t -> string -> int option
+
+type trap =
+  | Bad_return_address of int  (** [ret] with a non-return-address in [ra] *)
+  | Bad_call_target of int  (** [jsr] through a register not holding a routine address *)
+  | Undeclared_call_target of string
+      (** runtime target of a [jsr] is outside its declared target list *)
+  | Unknown_routine of string  (** direct call to a routine not in the program *)
+  | Unknown_jump  (** [jmp (r)] executed: control leaves the analysed image *)
+  | Out_of_fuel
+
+type outcome =
+  | Halted of int  (** [main] returned; payload is [v0], the exit status *)
+  | Trapped of trap
+
+type event =
+  | Executed of { routine : int; index : int; insn : Insn.t }
+      (** after the instruction's register/memory effects applied *)
+  | Entered of { routine : int }  (** callee entered by a call *)
+  | Exited of { routine : int; exit_index : int }  (** [ret] executed *)
+
+type state
+
+val create : ?fuel:int -> Program.t -> state
+(** Fresh machine at the entry of the program's main routine.  [fuel]
+    bounds the number of executed instructions (default 1_000_000). *)
+
+val reg : state -> Reg.t -> int
+val set_reg : state -> Reg.t -> int -> unit
+val mem : state -> int -> int
+val set_mem : state -> int -> int -> unit
+val steps : state -> int
+(** Instructions executed so far. *)
+
+val run : ?observer:(state -> event -> unit) -> state -> outcome
+(** Execute until [main] returns, a trap occurs, or fuel runs out. *)
+
+val execute : ?fuel:int -> ?observer:(state -> event -> unit) -> Program.t -> outcome
+(** [create] followed by [run]. *)

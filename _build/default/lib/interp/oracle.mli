@@ -1,0 +1,48 @@
+(** Dynamic soundness checking of the interprocedural summaries.
+
+    Executes a program under the interpreter while observing actual
+    register traffic, and checks every observation against the statically
+    computed summary sets:
+
+    - {b call-used}: registers a call invocation read before writing must
+      be in the callee's [call-used] set.  Callee-saved registers are
+      excused from this check (and from the liveness checks): the §3.4
+      save/restore idiom reads them transparently at any depth of the call
+      tree — their {e values} are what matters, and the call-killed check
+      verifies value restoration;
+    - {b call-killed}: a register written during the invocation must be in
+      [call-killed], or hold its entry value again when the invocation
+      returns (the save/restore case);
+    - {b call-defined}: every register in [call-defined] must have been
+      written by the returning invocation;
+    - {b live-at-entry} / {b live-at-exit}: registers read before written
+      from a routine's entry (resp. from a return) to the end of a halted
+      execution must be in the corresponding live set.
+
+    The [call-defined] check assumes every call in the program resolves to
+    a routine of the program (an unknown callee is summarised by the
+    calling-standard {e assumption}, which concrete execution cannot
+    verify); programs with unresolved calls skip that check. *)
+
+open Spike_support
+open Spike_core
+
+type violation = {
+  check : string;  (** which check failed, e.g. ["call-used"] *)
+  routine : string;
+  registers : Regset.t;  (** the offending registers *)
+  detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check :
+  ?fuel:int ->
+  ?max_observations:int ->
+  Analysis.t ->
+  Machine.outcome * violation list
+(** Run the analysed program and collect soundness violations (empty on a
+    sound analysis).  [max_observations] (default 256) caps the number of
+    live-at-entry/exit observation windows opened, bounding overhead on
+    long executions.  Liveness checks are only performed when the run
+    halts normally. *)

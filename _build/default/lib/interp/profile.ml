@@ -1,0 +1,24 @@
+open Spike_ir
+
+type t = int array array (* routine -> instruction index -> count *)
+
+let make_counts program =
+  Array.map
+    (fun (r : Routine.t) -> Array.make (Routine.instruction_count r) 0)
+    (Program.routines program)
+
+let collect ?fuel program =
+  let counts = make_counts program in
+  let observer _state event =
+    match event with
+    | Machine.Executed { routine; index; _ } ->
+        counts.(routine).(index) <- counts.(routine).(index) + 1
+    | Machine.Entered _ | Machine.Exited _ -> ()
+  in
+  let outcome = Machine.execute ?fuel ~observer program in
+  (outcome, counts)
+
+let count t ~routine ~index = t.(routine).(index)
+let routine_total t ~routine = Array.fold_left ( + ) 0 t.(routine)
+let total t = Array.fold_left (fun acc a -> acc + Array.fold_left ( + ) 0 a) 0 t
+let uniform program = Array.map (Array.map (fun _ -> 1)) (make_counts program)

@@ -1,0 +1,24 @@
+(** Execution profiles.
+
+    Spike is a profile-driven optimizer; the cost model weighs each removed
+    instruction by how often it executes.  A profile is gathered by running
+    the program under the interpreter and counting executions per
+    instruction. *)
+
+open Spike_ir
+
+type t
+
+val collect : ?fuel:int -> Program.t -> Machine.outcome * t
+(** Run the program and count.  Counts are valid even for trapped runs
+    (they describe the executed prefix). *)
+
+val count : t -> routine:int -> index:int -> int
+(** Times instruction [index] of routine [routine] executed. *)
+
+val routine_total : t -> routine:int -> int
+val total : t -> int
+
+val uniform : Program.t -> t
+(** A profile that pretends every instruction executed once — for
+    workloads that cannot run (e.g. containing unknown jumps). *)

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Insn List Printf Routine Spike_isa Spike_support Vec

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Array Format Fun Hashtbl Insn List Option Routine Spike_isa String

@@ -1,0 +1,1 @@
+lib/ir/program.mli: Format Insn Routine Spike_isa

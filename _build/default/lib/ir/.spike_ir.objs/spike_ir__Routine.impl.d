@@ -1,0 +1,1 @@
+lib/ir/routine.ml: Array Format Insn List Spike_isa

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Format Hashtbl Insn List Program Routine Spike_isa

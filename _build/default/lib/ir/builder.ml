@@ -1,0 +1,44 @@
+open Spike_support
+open Spike_isa
+
+type t = {
+  name : string;
+  exported : bool;
+  insns : Insn.t Vec.t;
+  mutable labels : (string * int) list;
+  mutable entries : string list; (* reverse declaration order *)
+  mutable counter : int;
+}
+
+let create ?(exported = false) name =
+  { name; exported; insns = Vec.create (); labels = []; entries = []; counter = 0 }
+
+let emit b insn = Vec.push b.insns insn
+let position b = Vec.length b.insns
+
+let label b l =
+  if List.mem_assoc l b.labels then
+    invalid_arg (Printf.sprintf "Builder.label: %s already defined in %s" l b.name);
+  b.labels <- (l, position b) :: b.labels
+
+let fresh_label b prefix =
+  let rec attempt () =
+    let candidate = Printf.sprintf "%s%d" prefix b.counter in
+    b.counter <- b.counter + 1;
+    if List.mem_assoc candidate b.labels then attempt () else candidate
+  in
+  attempt ()
+
+let declare_entry b l = b.entries <- l :: b.entries
+
+let finish b =
+  let entries =
+    match List.rev b.entries with
+    | [] ->
+        let l = b.name ^ "$entry" in
+        if not (List.mem_assoc l b.labels) then b.labels <- (l, 0) :: b.labels;
+        [ l ]
+    | declared -> declared
+  in
+  Routine.make ~exported:b.exported ~name:b.name ~entries
+    ~labels:(List.rev b.labels) (Vec.to_array b.insns)

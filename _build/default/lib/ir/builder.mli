@@ -1,0 +1,35 @@
+(** Imperative construction of routines.
+
+    The generator, the examples and many tests build routines
+    programmatically; this module keeps label bookkeeping out of their way.
+    A builder accumulates instructions and label definitions; {!finish}
+    freezes it into a {!Routine.t}.  Unless an entry is declared explicitly,
+    the routine gets a single entry at its first instruction. *)
+
+open Spike_isa
+
+type t
+
+val create : ?exported:bool -> string -> t
+(** [create name] starts a routine called [name]. *)
+
+val emit : t -> Insn.t -> unit
+
+val label : t -> string -> unit
+(** Define a label at the current position.
+    @raise Invalid_argument if the label is already defined. *)
+
+val fresh_label : t -> string -> string
+(** [fresh_label b prefix] invents a unique label (not yet defined nor
+    previously returned) of the form [prefix<n>]. *)
+
+val declare_entry : t -> string -> unit
+(** Mark a label as an additional entry point.  Entries keep declaration
+    order; the first becomes the primary entry. *)
+
+val position : t -> int
+(** Number of instructions emitted so far. *)
+
+val finish : t -> Routine.t
+(** Freeze the builder.  If no entry was declared, defines label
+    ["<name>$entry"] at position 0 and uses it. *)

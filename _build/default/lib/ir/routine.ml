@@ -1,0 +1,39 @@
+open Spike_isa
+
+type t = {
+  name : string;
+  insns : Insn.t array;
+  labels : (string * int) list;
+  entries : string list;
+  exported : bool;
+}
+
+let make ?(exported = false) ~name ~entries ~labels insns =
+  if entries = [] then invalid_arg (name ^ ": routine needs at least one entry");
+  { name; insns; labels; entries; exported }
+
+let label_index r label = List.assoc_opt label r.labels
+
+let primary_entry r =
+  match r.entries with
+  | entry :: _ -> entry
+  | [] -> assert false (* excluded by [make] *)
+
+let instruction_count r = Array.length r.insns
+
+let exit_count r =
+  Array.fold_left (fun n insn -> match insn with Insn.Ret -> n + 1 | _ -> n) 0 r.insns
+
+let pp ppf r =
+  Format.fprintf ppf ".routine %s%s@." r.name (if r.exported then " .exported" else "");
+  List.iter (fun entry -> Format.fprintf ppf ".entry %s@." entry) r.entries;
+  let labels_at i =
+    List.filter_map (fun (l, j) -> if i = j then Some l else None) r.labels
+  in
+  Array.iteri
+    (fun i insn ->
+      List.iter (fun l -> Format.fprintf ppf "%s:@." l) (labels_at i);
+      Format.fprintf ppf "  %a@." Insn.pp insn)
+    r.insns;
+  List.iter (fun l -> Format.fprintf ppf "%s:@." l) (labels_at (Array.length r.insns));
+  Format.fprintf ppf ".end@."

@@ -1,0 +1,51 @@
+open Spike_isa
+
+let check_routine (r : Routine.t) =
+  let problems = ref [] in
+  let report fmt = Format.kasprintf (fun s -> problems := (r.name ^ ": " ^ s) :: !problems) fmt in
+  let len = Array.length r.insns in
+  if len = 0 then report "empty routine body";
+  (* Labels: unique, within [0 .. len]. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (l, i) ->
+      if Hashtbl.mem seen l then report "duplicate label %s" l;
+      Hashtbl.replace seen l ();
+      if i < 0 || i > len then report "label %s out of bounds (%d)" l i)
+    r.labels;
+  let defined l = List.mem_assoc l r.labels in
+  let target_ok l =
+    match Routine.label_index r l with Some i -> i < len | None -> false
+  in
+  Array.iteri
+    (fun i insn ->
+      List.iter
+        (fun l ->
+          if not (defined l) then report "instruction %d branches to undefined label %s" i l
+          else if not (target_ok l) then
+            report "instruction %d branches to end-of-routine label %s" i l)
+        (Insn.branch_targets insn);
+      match insn with
+      | Insn.Switch { table; _ } when Array.length table = 0 ->
+          report "instruction %d has an empty jump table" i
+      | Insn.Switch _ | Insn.Li _ | Insn.Lda _ | Insn.Mov _ | Insn.Binop _ | Insn.Load _
+      | Insn.Store _ | Insn.Br _ | Insn.Bcond _ | Insn.Jump_unknown _ | Insn.Call _
+      | Insn.Ret | Insn.Nop ->
+          ())
+    r.insns;
+  List.iter
+    (fun entry ->
+      match Routine.label_index r entry with
+      | None -> report "entry %s is not a defined label" entry
+      | Some i -> if i >= len then report "entry %s points past the routine body" entry)
+    r.entries;
+  if len > 0 && Insn.falls_through r.insns.(len - 1) then
+    report "control can fall off the end (last instruction %s falls through)"
+      (Insn.to_string r.insns.(len - 1));
+  List.rev !problems
+
+let check p =
+  let problems =
+    Array.fold_left (fun acc r -> acc @ check_routine r) [] (Program.routines p)
+  in
+  match problems with [] -> Ok () | _ :: _ -> Error problems

@@ -1,0 +1,15 @@
+(** Structural well-formedness of programs.
+
+    The analysis and interpreter assume these invariants; everything that
+    constructs or parses a program should run [check] first.  Calls to
+    routine names outside the program are {e not} errors — they model
+    shared-library calls and are analysed conservatively (§3.5). *)
+
+val check_routine : Routine.t -> string list
+(** Diagnostics for one routine; empty when well-formed.  Checked:
+    non-empty body, unique labels, labels within bounds, branch and switch
+    targets defined, entry labels defined and pointing into the body,
+    non-empty switch tables, and control unable to fall off the end. *)
+
+val check : Program.t -> (unit, string list) result
+(** All diagnostics for all routines. *)

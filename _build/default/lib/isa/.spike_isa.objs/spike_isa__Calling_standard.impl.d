@@ -1,0 +1,1 @@
+lib/isa/calling_standard.ml: List Reg Regset Spike_support

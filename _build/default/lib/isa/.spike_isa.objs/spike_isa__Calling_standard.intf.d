@@ -1,0 +1,1 @@
+lib/isa/calling_standard.mli: Regset Spike_support

@@ -1,0 +1,1 @@
+lib/isa/insn.ml: Array Format List Reg Regset Spike_support String

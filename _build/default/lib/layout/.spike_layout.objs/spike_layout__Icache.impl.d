@@ -1,0 +1,1 @@
+lib/layout/icache.ml: Array Program Routine Spike_interp Spike_ir

@@ -1,0 +1,1 @@
+lib/layout/icache.mli: Program Spike_interp Spike_ir

@@ -1,0 +1,1 @@
+lib/layout/pettis_hansen.ml: Array Fun Hashtbl Int List Option Program Spike_interp Spike_ir

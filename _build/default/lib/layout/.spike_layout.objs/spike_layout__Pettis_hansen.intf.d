@@ -1,0 +1,1 @@
+lib/layout/pettis_hansen.mli: Program Spike_interp Spike_ir

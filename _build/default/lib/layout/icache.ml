@@ -1,0 +1,53 @@
+open Spike_ir
+
+type config = { line_instructions : int; lines : int }
+
+let default_config = { line_instructions = 8; lines = 256 }
+
+type stats = { accesses : int; misses : int }
+
+let miss_rate s =
+  if s.accesses = 0 then 0.0 else float_of_int s.misses /. float_of_int s.accesses
+
+let offsets program ~layout =
+  let n = Program.routine_count program in
+  if Array.length layout <> n then
+    invalid_arg "Icache.offsets: layout length mismatch";
+  let seen = Array.make n false in
+  Array.iter
+    (fun r ->
+      if r < 0 || r >= n || seen.(r) then
+        invalid_arg "Icache.offsets: layout is not a permutation";
+      seen.(r) <- true)
+    layout;
+  let offsets = Array.make n 0 in
+  let line = default_config.line_instructions in
+  let cursor = ref 0 in
+  Array.iter
+    (fun r ->
+      (* Align each routine to a line boundary, like a real linker. *)
+      let aligned = (!cursor + line - 1) / line * line in
+      offsets.(r) <- aligned;
+      cursor := aligned + Routine.instruction_count (Program.get program r))
+    layout;
+  offsets
+
+let simulate ?fuel config ~layout program =
+  let offsets = offsets program ~layout in
+  let tags = Array.make config.lines (-1) in
+  let accesses = ref 0 and misses = ref 0 in
+  let observer _state event =
+    match event with
+    | Spike_interp.Machine.Executed { routine; index; _ } ->
+        let address = offsets.(routine) + index in
+        let line = address / config.line_instructions in
+        let set = line mod config.lines in
+        incr accesses;
+        if tags.(set) <> line then begin
+          incr misses;
+          tags.(set) <- line
+        end
+    | Spike_interp.Machine.Entered _ | Spike_interp.Machine.Exited _ -> ()
+  in
+  let outcome = Spike_interp.Machine.execute ?fuel ~observer program in
+  (outcome, { accesses = !accesses; misses = !misses })

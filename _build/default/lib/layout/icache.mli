@@ -1,0 +1,41 @@
+(** A direct-mapped instruction-cache simulator.
+
+    Spike's headline optimization besides the Figure-1 ones is
+    profile-guided code positioning [Pettis90] to improve instruction
+    cache behaviour (paper §1).  Evaluating a code layout needs an
+    instruction cache; this is the smallest faithful one: direct-mapped,
+    indexed by instruction address, one fill per miss.
+
+    Instruction addresses are induced by a {e layout}: an ordering of the
+    program's routines, each padded to a cache-line boundary.  The
+    simulator rides along an interpreter execution and counts line
+    accesses and misses. *)
+
+open Spike_ir
+
+type config = {
+  line_instructions : int;  (** instructions per cache line *)
+  lines : int;  (** number of lines in the cache *)
+}
+
+val default_config : config
+(** 8 instructions per line (32-byte lines), 256 lines — an 8 KB
+    direct-mapped I-cache, like the 21164's. *)
+
+type stats = {
+  accesses : int;
+  misses : int;
+}
+
+val miss_rate : stats -> float
+
+val offsets : Program.t -> layout:int array -> int array
+(** [offsets program ~layout] is the starting instruction address of each
+    routine (indexed by routine id) when routines are placed in [layout]
+    order, each aligned to the next line boundary.
+    @raise Invalid_argument if [layout] is not a permutation of the
+    routine indices. *)
+
+val simulate :
+  ?fuel:int -> config -> layout:int array -> Program.t -> Spike_interp.Machine.outcome * stats
+(** Execute the program and simulate the I-cache under the layout. *)

@@ -1,0 +1,99 @@
+open Spike_ir
+
+type weights = (int * int, int) Hashtbl.t
+
+let collect_weights ?fuel program =
+  let weights : weights = Hashtbl.create 64 in
+  (* The caller of an [Entered] event is whichever routine executed the
+     call instruction — tracked from the Executed stream. *)
+  let current = ref None in
+  let observer _state event =
+    match event with
+    | Spike_interp.Machine.Executed { routine; _ } -> current := Some routine
+    | Spike_interp.Machine.Entered { routine = callee } -> (
+        match !current with
+        | Some caller ->
+            let key = (caller, callee) in
+            Hashtbl.replace weights key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt weights key))
+        | None -> ())
+    | Spike_interp.Machine.Exited _ -> ()
+  in
+  let outcome = Spike_interp.Machine.execute ?fuel ~observer program in
+  (outcome, weights)
+
+let edge_weight weights ~caller ~callee =
+  Option.value ~default:0 (Hashtbl.find_opt weights (caller, callee))
+
+(* Chains as arrays; each routine knows its chain id.  Merging the chains
+   of edge (a, b) orients them so a sits at the tail and b at the head
+   whenever the endpoints allow; otherwise plain concatenation. *)
+let order program weights =
+  let n = Program.routine_count program in
+  let chain_of = Array.init n (fun r -> r) in
+  let chains = Hashtbl.create n in
+  for r = 0 to n - 1 do
+    Hashtbl.replace chains r [ r ]
+  done;
+  (* Undirected edge weights, heaviest first. *)
+  let undirected = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (a, b) w ->
+      if a <> b then begin
+        let key = (min a b, max a b) in
+        Hashtbl.replace undirected key
+          (w + Option.value ~default:0 (Hashtbl.find_opt undirected key))
+      end)
+    weights;
+  let edges =
+    Hashtbl.fold (fun k w acc -> (k, w) :: acc) undirected []
+    |> List.sort (fun (_, w1) (_, w2) -> Int.compare w2 w1)
+  in
+  let find_chain r = Hashtbl.find chains chain_of.(r) in
+  let merge (a, b) =
+    let ca = chain_of.(a) and cb = chain_of.(b) in
+    if ca <> cb then begin
+      let la = find_chain a and lb = find_chain b in
+      (* Prefer ...a ++ b...: reverse either side when the hot endpoint is
+         on the wrong end and is an actual end. *)
+      let la =
+        if List.length la > 0 && List.hd (List.rev la) = a then la
+        else if List.hd la = a then List.rev la
+        else la
+      in
+      let lb =
+        if List.length lb > 0 && List.hd lb = b then lb
+        else if List.hd (List.rev lb) = b then List.rev lb
+        else lb
+      in
+      let merged = la @ lb in
+      Hashtbl.remove chains cb;
+      Hashtbl.replace chains ca merged;
+      List.iter (fun r -> chain_of.(r) <- ca) merged
+    end
+  in
+  List.iter (fun (edge, _) -> merge edge) edges;
+  (* Final order: main's chain first, the rest by decreasing total chain
+     weight (sum of dynamic calls into/out of the chain's members). *)
+  let main_index =
+    match Program.find_index program (Program.main program) with
+    | Some i -> i
+    | None -> assert false
+  in
+  let routine_weight r =
+    Hashtbl.fold
+      (fun (a, b) w acc -> if a = r || b = r then acc + w else acc)
+      weights 0
+  in
+  let all_chains = Hashtbl.fold (fun id l acc -> (id, l) :: acc) chains [] in
+  let main_chain_id = chain_of.(main_index) in
+  let rest =
+    List.filter (fun (id, _) -> id <> main_chain_id) all_chains
+    |> List.map (fun (id, l) ->
+           (id, l, List.fold_left (fun acc r -> acc + routine_weight r) 0 l))
+    |> List.sort (fun (_, _, w1) (_, _, w2) -> Int.compare w2 w1)
+  in
+  Array.of_list
+    (find_chain main_index @ List.concat_map (fun (_, l, _) -> l) rest)
+
+let original_order program = Array.init (Program.routine_count program) Fun.id

@@ -1,0 +1,29 @@
+(** Profile-guided routine ordering [Pettis90], as Spike applies it (paper
+    §1: "code restructuring to improve instruction cache performance").
+
+    The classic "closest-is-best" procedure-ordering algorithm: build a
+    call graph weighted by dynamic call counts, then repeatedly merge the
+    two routine chains joined by the heaviest remaining edge, orienting
+    the chains so the hot pair lands adjacent when both are chain ends.
+    Routines that call each other frequently end up close together, so
+    they stop evicting each other from a direct-mapped instruction
+    cache. *)
+
+open Spike_ir
+
+type weights
+(** Dynamic call-edge weights: how often each (caller, callee) pair was
+    taken in a profiling run.  Indirect calls contribute to the routine
+    actually entered. *)
+
+val collect_weights : ?fuel:int -> Program.t -> Spike_interp.Machine.outcome * weights
+
+val edge_weight : weights -> caller:int -> callee:int -> int
+
+val order : Program.t -> weights -> int array
+(** The Pettis-Hansen ordering (a permutation of routine indices).  The
+    main routine's chain is placed first; remaining chains follow in
+    decreasing total weight. *)
+
+val original_order : Program.t -> int array
+(** The identity layout, for comparison. *)

@@ -1,0 +1,1 @@
+lib/opt/cost_model.ml: Array Insn Program Routine Spike_ir Spike_isa

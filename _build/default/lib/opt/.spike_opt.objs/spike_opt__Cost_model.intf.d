@@ -1,0 +1,1 @@
+lib/opt/cost_model.mli: Program Routine Spike_ir Spike_isa

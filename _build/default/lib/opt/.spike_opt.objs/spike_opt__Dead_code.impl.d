@@ -1,0 +1,1 @@
+lib/opt/dead_code.ml: Analysis Array Insn Int List Liveness Program Reg Regset Rewrite Spike_cfg Spike_core Spike_ir Spike_isa Spike_support

@@ -1,0 +1,1 @@
+lib/opt/dead_code.mli: Analysis Liveness Spike_core Spike_ir

@@ -1,0 +1,1 @@
+lib/opt/liveness.ml: Analysis Array Calling_standard Cfg Defuse Hashtbl Insn List Program Psg Regset Routine Spike_cfg Spike_core Spike_ir Spike_isa Spike_support Summary

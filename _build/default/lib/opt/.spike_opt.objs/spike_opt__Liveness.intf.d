@@ -1,0 +1,1 @@
+lib/opt/liveness.mli: Analysis Regset Spike_core Spike_isa Spike_support

@@ -1,0 +1,1 @@
+lib/opt/opt.ml: Analysis Dead_code Format List Program Save_restore Spike_core Spike_ir Spill

@@ -1,0 +1,1 @@
+lib/opt/opt.mli: Analysis Format Spike_core Spike_ir

@@ -1,0 +1,1 @@
+lib/opt/rewrite.ml: Array Insn List Printf Routine Spike_ir Spike_isa

@@ -1,0 +1,1 @@
+lib/opt/rewrite.mli: Reg Routine Spike_ir Spike_isa

@@ -1,0 +1,1 @@
+lib/opt/save_restore.ml: Analysis Array Callee_saved Cfg Fun Insn List Liveness Program Psg Queue Reg Regset Rewrite Routine Spike_cfg Spike_core Spike_ir Spike_isa Spike_support Summary

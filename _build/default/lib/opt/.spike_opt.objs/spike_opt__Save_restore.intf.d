@@ -1,0 +1,1 @@
+lib/opt/save_restore.mli: Analysis Liveness Spike_core Spike_ir Spike_isa

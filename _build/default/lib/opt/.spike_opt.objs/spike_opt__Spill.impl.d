@@ -1,0 +1,1 @@
+lib/opt/spill.ml: Analysis Array Calling_standard Cfg Hashtbl Insn List Program Psg Reg Regset Rewrite Routine Spike_cfg Spike_core Spike_ir Spike_isa Spike_support Summary

@@ -1,0 +1,1 @@
+lib/opt/spill.mli: Analysis Spike_core Spike_ir Spike_isa

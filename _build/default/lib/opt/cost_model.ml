@@ -1,0 +1,28 @@
+open Spike_isa
+open Spike_ir
+
+let insn_cycles = function
+  | Insn.Load _ | Insn.Store _ -> 2
+  | Insn.Call _ | Insn.Ret -> 3
+  | Insn.Li _ | Insn.Lda _ | Insn.Mov _ | Insn.Binop _ | Insn.Br _ | Insn.Bcond _
+  | Insn.Switch _ | Insn.Jump_unknown _ | Insn.Nop ->
+      1
+
+let routine_cycles ~counts (r : Routine.t) =
+  let total = ref 0 in
+  Array.iteri (fun i insn -> total := !total + (counts.(i) * insn_cycles insn)) r.insns;
+  !total
+
+let program_cycles ~count program =
+  let total = ref 0 in
+  Program.iter
+    (fun routine (r : Routine.t) ->
+      Array.iteri
+        (fun index insn -> total := !total + (count ~routine ~index * insn_cycles insn))
+        r.Routine.insns)
+    program;
+  !total
+
+let improvement_percent ~before ~after =
+  if before = 0 then 0.0
+  else 100.0 *. float_of_int (before - after) /. float_of_int before

@@ -1,0 +1,18 @@
+(** A simple cycle model for reporting optimization gains.
+
+    The paper reports 5–10% (up to 20%) performance improvements from the
+    summary-driven optimizations; absolute cycle accuracy is not the
+    point — relative instruction traffic is.  Weights: memory operations
+    cost 2 cycles, calls and returns 3, everything else 1. *)
+
+open Spike_ir
+
+val insn_cycles : Spike_isa.Insn.t -> int
+
+val routine_cycles : counts:int array -> Routine.t -> int
+(** Profile-weighted cycles of one routine ([counts.(i)] = executions of
+    instruction [i]). *)
+
+val program_cycles : count:(routine:int -> index:int -> int) -> Program.t -> int
+
+val improvement_percent : before:int -> after:int -> float

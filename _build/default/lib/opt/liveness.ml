@@ -1,0 +1,120 @@
+open Spike_support
+open Spike_isa
+open Spike_ir
+open Spike_cfg
+open Spike_core
+
+type t = {
+  analysis : Analysis.t;
+  live_in_sets : Regset.t array array;  (* routine -> block -> live-in *)
+  live_out_sets : Regset.t array array;
+      (* for a call block: liveness at the return point, before the call
+         summary is applied *)
+  site_of_block : (int * int, Psg.call_info) Hashtbl.t;
+}
+
+(* Compose the call instruction's own effect with the merged callee class,
+   as one backward gen/kill pair. *)
+let call_gen_kill analysis (info : Psg.call_info) =
+  let site = Analysis.site_class analysis info in
+  let gen = Regset.union info.call_use (Regset.diff site.Summary.used info.call_def) in
+  let kill = Regset.union info.call_def site.Summary.defined in
+  (gen, kill)
+
+let cross_call analysis info live_after =
+  let gen, kill = call_gen_kill analysis info in
+  Regset.union gen (Regset.diff live_after kill)
+
+let compute (analysis : Analysis.t) =
+  let program = analysis.Analysis.program in
+  let psg = analysis.Analysis.psg in
+  let site_of_block = Hashtbl.create 64 in
+  Array.iter
+    (fun (info : Psg.call_info) ->
+      match psg.Psg.nodes.(info.call_node).Psg.kind with
+      | Psg.Call { routine; block } -> Hashtbl.replace site_of_block (routine, block) info
+      | Psg.Entry _ | Psg.Exit _ | Psg.Return _ | Psg.Branch _ | Psg.Unknown_exit _ ->
+          assert false)
+    psg.Psg.calls;
+  let nroutines = Program.routine_count program in
+  let live_in_sets = Array.make nroutines [||] and live_out_sets = Array.make nroutines [||] in
+  for r = 0 to nroutines - 1 do
+    let cfg = analysis.Analysis.cfgs.(r) in
+    let defuse = analysis.Analysis.defuses.(r) in
+    let n = Cfg.block_count cfg in
+    let live_in = Array.make n Regset.empty and live_out = Array.make n Regset.empty in
+    let exit_live = (analysis.Analysis.summaries.(r)).Summary.live_at_exit in
+    let out_of b =
+      let block = cfg.Cfg.blocks.(b) in
+      match block.ending with
+      | Ends_ret -> (
+          match List.assoc_opt b exit_live with Some l -> l | None -> Regset.empty)
+      | Ends_jump_unknown -> Calling_standard.unknown_jump_live
+      | Ends_call _ ->
+          (* Liveness at the return point. *)
+          live_in.(block.succs.(0))
+      | Ends_plain | Ends_switch ->
+          Array.fold_left (fun acc s -> Regset.union acc live_in.(s)) Regset.empty
+            block.succs
+    in
+    let transfer b out =
+      let block = cfg.Cfg.blocks.(b) in
+      let mid =
+        match block.ending with
+        | Ends_call _ -> (
+            match Hashtbl.find_opt site_of_block (r, b) with
+            | Some info -> cross_call analysis info out
+            | None -> assert false)
+        | Ends_plain | Ends_ret | Ends_switch | Ends_jump_unknown -> out
+      in
+      Regset.union (Defuse.ubd defuse b) (Regset.diff mid (Defuse.def defuse b))
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for b = n - 1 downto 0 do
+        let out = out_of b in
+        live_out.(b) <- out;
+        let inn = transfer b out in
+        if not (Regset.equal inn live_in.(b)) then begin
+          live_in.(b) <- inn;
+          changed := true
+        end
+      done
+    done;
+    live_in_sets.(r) <- live_in;
+    live_out_sets.(r) <- live_out
+  done;
+  { analysis; live_in_sets; live_out_sets; site_of_block }
+
+let live_in t ~routine ~block = t.live_in_sets.(routine).(block)
+let live_out t ~routine ~block = t.live_out_sets.(routine).(block)
+
+let live_across_call t ~routine ~block =
+  let cfg = t.analysis.Analysis.cfgs.(routine) in
+  match cfg.Cfg.blocks.(block).Cfg.ending with
+  | Ends_call _ -> t.live_out_sets.(routine).(block)
+  | Ends_plain | Ends_ret | Ends_switch | Ends_jump_unknown ->
+      invalid_arg "Liveness.live_across_call: block does not end in a call"
+
+let iter_block_backward t ~routine ~block f =
+  let cfg = t.analysis.Analysis.cfgs.(routine) in
+  let b = cfg.Cfg.blocks.(block) in
+  let insns = cfg.Cfg.routine.Routine.insns in
+  let live = ref t.live_out_sets.(routine).(block) in
+  let start =
+    match b.ending with
+    | Ends_call _ ->
+        let insn = insns.(b.last) in
+        f b.last insn !live;
+        (match Hashtbl.find_opt t.site_of_block (routine, block) with
+        | Some info -> live := cross_call t.analysis info !live
+        | None -> assert false);
+        b.last - 1
+    | Ends_plain | Ends_ret | Ends_switch | Ends_jump_unknown -> b.last
+  in
+  for i = start downto b.first do
+    let insn = insns.(i) in
+    f i insn !live;
+    live := Regset.union (Insn.uses insn) (Regset.diff !live (Insn.defs insn))
+  done

@@ -1,0 +1,30 @@
+(** Instruction-granularity liveness from the interprocedural summaries.
+
+    This is the consumer-side view the paper's §2 describes: each call is a
+    call-summary instruction (uses = call-used, defines = call-defined,
+    kills = call-killed of its possible callees), each exit uses its
+    live-at-exit set.  The per-routine backward fixpoint then yields, for
+    every instruction, the registers live immediately after it — exactly
+    what dead-code elimination and the register transformations need. *)
+
+open Spike_support
+open Spike_core
+
+type t
+
+val compute : Analysis.t -> t
+
+val live_in : t -> routine:int -> block:int -> Regset.t
+val live_out : t -> routine:int -> block:int -> Regset.t
+
+val iter_block_backward :
+  t -> routine:int -> block:int -> (int -> Spike_isa.Insn.t -> Regset.t -> unit) -> unit
+(** [iter_block_backward t ~routine ~block f] calls [f index insn
+    live_after] for each instruction of the block from last to first,
+    where [live_after] is the liveness immediately after the instruction
+    (for a terminating call instruction: the liveness at its return point,
+    before the call's summary is applied). *)
+
+val live_across_call : t -> routine:int -> block:int -> Regset.t
+(** For a block ending in a call: the registers live at the call's return
+    point.  @raise Invalid_argument if the block does not end in a call. *)

@@ -1,0 +1,60 @@
+open Spike_isa
+open Spike_ir
+
+let delete_instructions (r : Routine.t) indexes =
+  let len = Array.length r.insns in
+  let dead = Array.make len false in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= len then
+        invalid_arg (Printf.sprintf "Rewrite.delete_instructions: index %d" i);
+      if Insn.ends_block r.insns.(i) then
+        invalid_arg
+          (Printf.sprintf "Rewrite.delete_instructions: %s is a terminator"
+             (Insn.to_string r.insns.(i)));
+      dead.(i) <- true)
+    indexes;
+  (* new_index.(i) = position of instruction i in the surviving stream;
+     for a deleted instruction, the position of the next survivor. *)
+  let new_index = Array.make (len + 1) 0 in
+  let survivors = ref 0 in
+  for i = 0 to len - 1 do
+    new_index.(i) <- !survivors;
+    if not dead.(i) then incr survivors
+  done;
+  new_index.(len) <- !survivors;
+  let insns = Array.make !survivors Insn.Nop in
+  for i = 0 to len - 1 do
+    if not dead.(i) then insns.(new_index.(i)) <- r.insns.(i)
+  done;
+  let labels = List.map (fun (l, i) -> (l, new_index.(i))) r.labels in
+  Routine.make ~exported:r.exported ~name:r.name ~entries:r.entries ~labels insns
+
+let rename_insn ~from_reg ~to_reg insn =
+  let m r = if r = from_reg then to_reg else r in
+  match insn with
+  | Insn.Li { dst; imm } -> Insn.Li { dst = m dst; imm }
+  | Insn.Lda { dst; base; offset } -> Insn.Lda { dst = m dst; base = m base; offset }
+  | Insn.Mov { dst; src } -> Insn.Mov { dst = m dst; src = m src }
+  | Insn.Binop { op; dst; src1; src2 } ->
+      let src2 = match src2 with Insn.Reg r -> Insn.Reg (m r) | Insn.Imm _ -> src2 in
+      Insn.Binop { op; dst = m dst; src1 = m src1; src2 }
+  | Insn.Load { dst; base; offset } -> Insn.Load { dst = m dst; base = m base; offset }
+  | Insn.Store { src; base; offset } -> Insn.Store { src = m src; base = m base; offset }
+  | Insn.Bcond { cond; src; target } -> Insn.Bcond { cond; src = m src; target }
+  | Insn.Switch { index; table } -> Insn.Switch { index = m index; table }
+  | Insn.Jump_unknown { target } -> Insn.Jump_unknown { target = m target }
+  | Insn.Call { callee } -> (
+      match callee with
+      | Insn.Direct _ -> insn
+      | Insn.Indirect (r, targets) -> Insn.Call { callee = Insn.Indirect (m r, targets) })
+  | Insn.Br _ | Insn.Ret | Insn.Nop -> insn
+
+let rename_register (r : Routine.t) ~from_reg ~to_reg ~except =
+  let insns =
+    Array.mapi
+      (fun i insn ->
+        if List.mem i except then insn else rename_insn ~from_reg ~to_reg insn)
+      r.insns
+  in
+  Routine.make ~exported:r.exported ~name:r.name ~entries:r.entries ~labels:r.labels insns

@@ -1,0 +1,22 @@
+(** Routine surgery: instruction deletion and register renaming.
+
+    Both operations preserve well-formedness: labels (including entry
+    labels and end-of-routine labels) are remapped across deletions, and a
+    label pointing at a deleted instruction moves to the next surviving
+    one — which is behaviour-preserving exactly because the optimizer only
+    deletes instructions whose effects are dead. *)
+
+open Spike_isa
+open Spike_ir
+
+val delete_instructions : Routine.t -> int list -> Routine.t
+(** [delete_instructions r indexes] removes the instructions at the given
+    indexes (duplicates allowed, any order).  Block-terminating
+    instructions (branches, calls, returns, switches) must not be deleted.
+    @raise Invalid_argument on an out-of-range index or a terminator. *)
+
+val rename_register :
+  Routine.t -> from_reg:Reg.t -> to_reg:Reg.t -> except:int list -> Routine.t
+(** Rename every occurrence of [from_reg] (as source or destination, in
+    any operand position) to [to_reg], except in the instructions whose
+    indexes are listed in [except]. *)

@@ -1,0 +1,30 @@
+(** Redundant spill removal around calls (Figure 1(c)).
+
+    The compiler spilled a caller-saved register around a call because it
+    had to assume the call kills it.  The interprocedural summary often
+    proves otherwise: when the register is not call-killed by any possible
+    callee, the store/reload pair is removed.
+
+    Recognised pattern, deliberately conservative:
+    {v
+      stq r, off(sp)      # in the call block, r and sp untouched after
+      ...
+      bsr/jsr ...         # call with r not in call-killed
+      ldq r, off(sp)      # in the return block, r unwritten before it
+    v}
+    with no other instruction in the routine touching [off(sp)] and no
+    [sp] adjustment between the three points. *)
+
+open Spike_core
+
+type removal = {
+  routine : int;
+  store_index : int;
+  load_index : int;
+  spilled : Spike_isa.Reg.t;
+}
+
+val find : Analysis.t -> removal list
+
+val apply : Analysis.t -> Spike_ir.Program.t * removal list
+(** Remove every recognised redundant spill pair. *)

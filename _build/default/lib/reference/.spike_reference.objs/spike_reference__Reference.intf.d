@@ -1,0 +1,1 @@
+lib/reference/reference.mli: Program Psg Regset Spike_core Spike_ir Spike_support Summary

@@ -1,0 +1,29 @@
+(** Precision oracle: the interprocedural solution computed {e without} a
+    PSG.
+
+    This module solves the same two-phase dataflow problem as
+    {!Spike_core} by brute force: each routine is analysed directly over
+    its complete CFG with call sites summarised by the current call
+    classes (the §2 "call-summary instruction"), and the per-routine
+    analyses iterate to a global fixpoint.  It is the semantics the PSG is
+    an optimisation of, so on every program the two must agree {e exactly}
+    — the property tests in [test/test_agreement.ml] check it.
+
+    It is deliberately simple and unoptimised; don't use it on large
+    programs (the benchmarks measure the PSG analysis, not this). *)
+
+open Spike_support
+open Spike_ir
+open Spike_core
+
+type t = {
+  call_classes : Summary.call_class array;  (** per routine *)
+  live_at_entry : Regset.t array;  (** per routine, at the primary entry *)
+  live_at_exit : (int * Regset.t) list array;
+      (** per routine: exit block id [->] live set *)
+}
+
+val run : ?externals:(string -> Psg.external_class option) -> Program.t -> t
+(** Analyse a whole program.  Must produce the same sets as
+    {!Analysis.run} given the same [externals] (with branch nodes on or
+    off — they don't affect the solution). *)

@@ -1,0 +1,1 @@
+lib/supercfg/supercfg.ml: Array Calling_standard Cfg Defuse Insn List Program Queue Regset Routine Spike_cfg Spike_ir Spike_isa Spike_support String

@@ -1,0 +1,1 @@
+lib/supercfg/supercfg.mli: Cfg Defuse Program Regset Spike_cfg Spike_ir Spike_support

@@ -1,0 +1,46 @@
+(** The whole-program control-flow graph baseline.
+
+    This is the representation the paper argues {e against} using directly
+    (§1, Table 5): every basic block of every routine, with ordinary arcs
+    plus call arcs (call block to callee entry block) and return arcs
+    (callee exit block to the call's return block).  We build it for two
+    purposes:
+
+    - {b Table 5}: counting basic blocks and arcs (including call/return
+      arcs) to compare against the PSG's node and edge counts;
+    - {b cross-checking}: a context-insensitive liveness over the
+      supergraph merges every caller's return liveness at a callee's exits
+      (it includes invalid paths), so it must be a superset of the PSG's
+      meet-over-valid-paths liveness at every corresponding location.
+
+    Calls with unknown targets are not routed through a callee; the
+    calling-standard assumption (§3.5) is folded into the call block's
+    transfer function and the fallthrough arc is kept. *)
+
+open Spike_support
+open Spike_ir
+open Spike_cfg
+
+type t
+
+val build : Program.t -> Cfg.t array -> t
+
+val block_count : t -> int
+val arc_count : t -> int
+(** All arcs: intra-routine, call and return arcs.  Call fallthrough arcs
+    of resolved calls are replaced by their call/return arc pair. *)
+
+val call_arc_count : t -> int
+val return_arc_count : t -> int
+
+type liveness
+
+val liveness : t -> Defuse.t array -> liveness
+(** Context-insensitive backward liveness to fixpoint over the supergraph,
+    with the same boundary seeds as the PSG analysis (exported routines,
+    [main], unknown jumps). *)
+
+val live_in : liveness -> routine:int -> block:int -> Regset.t
+(** Registers live at the start of a block. *)
+
+val live_out : liveness -> routine:int -> block:int -> Regset.t

@@ -1,0 +1,1 @@
+lib/support/regset.ml: Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/support/timer.ml: Hashtbl Unix Vec

@@ -1,0 +1,14 @@
+let word_bytes = Sys.word_size / 8
+
+let live_bytes () =
+  Gc.full_major ();
+  let s = Gc.stat () in
+  s.Gc.live_words * word_bytes
+
+let measure f =
+  let before = live_bytes () in
+  let result = f () in
+  let after = live_bytes () in
+  (result, max 0 (after - before))
+
+let megabytes bytes = float_of_int bytes /. (1024.0 *. 1024.0)

@@ -1,0 +1,18 @@
+(** Live-heap measurement for the memory-usage experiments (Table 2,
+    Figure 15).
+
+    The paper reports megabytes of memory needed by the dataflow analysis.
+    We measure the growth of the live OCaml heap across a computation: a
+    major collection before and after, and the difference in live words.
+    This attributes exactly the retained analysis structures (CFGs, PSG,
+    dataflow sets) to the measurement, ignoring transient garbage. *)
+
+val live_bytes : unit -> int
+(** Bytes of live heap after a forced full major collection. *)
+
+val measure : (unit -> 'a) -> 'a * int
+(** [measure f] is [(f (), bytes)] where [bytes] is the growth in live heap
+    retained by [f]'s result (non-negative). *)
+
+val megabytes : int -> float
+(** Bytes to MB, for reporting alongside the paper's numbers. *)

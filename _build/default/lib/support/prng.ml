@@ -1,0 +1,48 @@
+(* SplitMix64 specialised to OCaml's 63-bit ints: state updates use Int64
+   arithmetic for faithfulness to the reference algorithm, outputs are
+   truncated to 62 non-negative bits. *)
+
+type t = { mutable state : int64 }
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let next64 g =
+  g.state <- Int64.add g.state gamma;
+  mix g.state
+
+let create seed = { state = mix (Int64.of_int seed) }
+let split g = { state = next64 g }
+
+let next g =
+  (* Mask to 62 bits so the result is a non-negative OCaml int everywhere. *)
+  Int64.to_int (Int64.logand (next64 g) 0x3FFF_FFFF_FFFF_FFFFL)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  next g mod bound
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let bool g = next g land 1 = 1
+let float g x = Int64.to_float (Int64.shift_right_logical (next64 g) 11) /. 9007199254740992.0 *. x
+let chance g p = float g 1.0 < p
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int g (Array.length a))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,38 @@
+(** Deterministic SplitMix64 pseudo-random number generator.
+
+    The synthetic workload generator must be reproducible across runs and
+    machines, so it never touches [Random]; every stream is derived from an
+    explicit seed.  SplitMix64 passes BigCrush and supports cheap stream
+    splitting, which the generator uses to give each routine an independent
+    stream (so changing one routine's parameters does not perturb others). *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from [seed]. *)
+
+val split : t -> t
+(** [split g] derives an independent generator; [g] advances. *)
+
+val next : t -> int
+(** [next g] is a uniformly distributed non-negative 62-bit integer. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [0 .. bound - 1].  [bound] must be > 0. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [lo .. hi] inclusive. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance g p] is [true] with probability [p]. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform in [0.0 .. x). *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,34 @@
+type t = {
+  totals : (string, float ref) Hashtbl.t;
+  order : string Vec.t;
+}
+
+let create () = { totals = Hashtbl.create 8; order = Vec.create () }
+let now () = Unix.gettimeofday ()
+
+let bucket t stage =
+  match Hashtbl.find_opt t.totals stage with
+  | Some r -> r
+  | None ->
+      let r = ref 0.0 in
+      Hashtbl.add t.totals stage r;
+      Vec.push t.order stage;
+      r
+
+let add t stage secs =
+  let r = bucket t stage in
+  r := !r +. secs
+
+let record t stage f =
+  let t0 = now () in
+  let result = f () in
+  add t stage (now () -. t0);
+  result
+
+let get t stage = match Hashtbl.find_opt t.totals stage with Some r -> !r | None -> 0.0
+let total t = Hashtbl.fold (fun _ r acc -> acc +. !r) t.totals 0.0
+let stages t = Vec.to_list (Vec.map (fun s -> (s, get t s)) t.order)
+
+let reset t =
+  Hashtbl.reset t.totals;
+  Vec.clear t.order

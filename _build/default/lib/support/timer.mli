@@ -1,0 +1,32 @@
+(** Wall-clock stage timing.
+
+    The paper reports the fraction of total analysis time spent in each of
+    five stages (CFG build, initialization, PSG build, phase 1, phase 2;
+    Figure 13).  A {!t} accumulates seconds per named stage across repeated
+    [record] calls so the analysis driver can attribute every stage of every
+    routine to the right bucket. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> string -> (unit -> 'a) -> 'a
+(** [record t stage f] runs [f ()], adding its wall-clock duration to
+    [stage]'s accumulated total. *)
+
+val add : t -> string -> float -> unit
+(** [add t stage secs] adds [secs] to [stage] directly. *)
+
+val get : t -> string -> float
+(** Accumulated seconds for a stage (0 if never recorded). *)
+
+val total : t -> float
+(** Sum over all stages. *)
+
+val stages : t -> (string * float) list
+(** Stages in first-recorded order with their accumulated seconds. *)
+
+val reset : t -> unit
+
+val now : unit -> float
+(** Wall-clock seconds (monotonic enough for benchmarking deltas). *)

@@ -1,0 +1,78 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let make n x = { data = Array.make (max n 1) x; len = n }
+let length v = v.len
+let is_empty v = v.len = 0
+
+let check v i =
+  if i < 0 || i >= v.len then
+    invalid_arg (Printf.sprintf "Vec: index %d out of bounds (len %d)" i v.len)
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+let grow v x =
+  let cap = Array.length v.data in
+  let cap' = if cap = 0 then 8 else 2 * cap in
+  let data = Array.make cap' x in
+  Array.blit v.data 0 data 0 v.len;
+  v.data <- data
+
+let push v x =
+  if v.len = Array.length v.data then grow v x;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then None
+  else begin
+    v.len <- v.len - 1;
+    Some v.data.(v.len)
+  end
+
+let last v = if v.len = 0 then None else Some v.data.(v.len - 1)
+let clear v = v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold f init v =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) v;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.len && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_array v = Array.sub v.data 0 v.len
+
+let map f v =
+  let r = create () in
+  iter (fun x -> push r (f x)) v;
+  r
+
+let to_list v = Array.to_list (to_array v)
+
+let of_list xs =
+  let v = create () in
+  List.iter (push v) xs;
+  v
+
+let of_array a =
+  let v = create () in
+  Array.iter (push v) a;
+  v

@@ -1,0 +1,29 @@
+(** Growable arrays (OCaml 5.1 predates stdlib [Dynarray]).
+
+    Used pervasively for instruction streams, basic-block lists and PSG
+    node/edge tables, where sizes are discovered incrementally but random
+    access must stay O(1). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val make : int -> 'a -> 'a t
+(** [make n x] is a vector of length [n] filled with [x]. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+val last : 'a t -> 'a option
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val exists : ('a -> bool) -> 'a t -> bool
+val map : ('a -> 'b) -> 'a t -> 'b t
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list
+val of_list : 'a list -> 'a t
+val of_array : 'a array -> 'a t

@@ -1,0 +1,36 @@
+type t = {
+  ring : int array;
+  queued : Bytes.t;
+  mutable head : int;  (* next pop position *)
+  mutable tail : int;  (* next push position *)
+  mutable count : int;
+}
+
+let create n =
+  let capacity = max n 1 in
+  {
+    ring = Array.make capacity 0;
+    queued = Bytes.make capacity '\000';
+    head = 0;
+    tail = 0;
+    count = 0;
+  }
+
+let is_empty t = t.count = 0
+let length t = t.count
+
+let push t id =
+  if Bytes.unsafe_get t.queued id = '\000' then begin
+    Bytes.unsafe_set t.queued id '\001';
+    t.ring.(t.tail) <- id;
+    t.tail <- (if t.tail + 1 = Array.length t.ring then 0 else t.tail + 1);
+    t.count <- t.count + 1
+  end
+
+let pop t =
+  if t.count = 0 then invalid_arg "Workset.pop: empty";
+  let id = t.ring.(t.head) in
+  t.head <- (if t.head + 1 = Array.length t.ring then 0 else t.head + 1);
+  t.count <- t.count - 1;
+  Bytes.unsafe_set t.queued id '\000';
+  id

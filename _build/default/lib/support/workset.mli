@@ -1,0 +1,21 @@
+(** Allocation-free FIFO worklists over dense integer ids.
+
+    The dataflow fixpoints push and pop millions of node ids; a [Queue]
+    allocates a cell per push.  A workset is a fixed ring buffer plus a
+    membership bitmap: an id on the list is never enqueued twice, so a
+    capacity of the id-space size can never overflow. *)
+
+type t
+
+val create : int -> t
+(** [create n] handles ids in [0 .. n - 1]. *)
+
+val push : t -> int -> unit
+(** Enqueue an id; no-op if it is already queued. *)
+
+val pop : t -> int
+(** Dequeue the oldest id and clear its membership.
+    @raise Invalid_argument when empty. *)
+
+val is_empty : t -> bool
+val length : t -> int

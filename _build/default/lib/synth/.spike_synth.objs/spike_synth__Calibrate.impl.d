@@ -1,0 +1,1 @@
+lib/synth/calibrate.ml: Float Hashtbl List Params String

@@ -1,0 +1,1 @@
+lib/synth/calibrate.mli: Params

@@ -1,0 +1,1 @@
+lib/synth/generator.ml: Array Builder Insn Int List Machine Params Printf Prng Program Reg Spike_interp Spike_ir Spike_isa Spike_support

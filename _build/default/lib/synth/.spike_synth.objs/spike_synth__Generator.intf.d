@@ -1,0 +1,1 @@
+lib/synth/generator.mli: Params Program Spike_ir

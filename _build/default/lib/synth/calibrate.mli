@@ -1,0 +1,44 @@
+(** Calibration of the synthetic workloads to the paper's 16 benchmarks.
+
+    The paper evaluates on SPEC95int and eight large PC applications we
+    cannot obtain (commercial Alpha/NT binaries).  Their {e structural}
+    characteristics, however, are published: Table 2 gives routines, basic
+    blocks and instructions; Table 3 gives per-routine entrances, exits,
+    calls and branches; Table 4's branch-node edge reductions pin down how
+    much multiway-branch-in-loop structure each program has.  This module
+    stores those published numbers and derives generator parameters that
+    reproduce the shapes, so the benchmark harness can regenerate each
+    table with measured values next to the paper's. *)
+
+type paper_row = {
+  name : string;
+  suite : string;  (** ["SPECint95"] or ["PC"] *)
+  description : string;  (** Table 1 *)
+  routines : int;  (** Table 2 *)
+  basic_blocks : int;
+  instructions_k : float;
+  time_s : float;  (** Table 2, on a 466 MHz Alpha 21164 *)
+  memory_mb : float;
+  entrances : float;  (** Table 3, per routine *)
+  exits : float;
+  calls : float;
+  branches : float;
+  psg_nodes_per_routine : float;
+  psg_edges_per_routine : float;
+  edge_reduction_pct : float;  (** Table 4 *)
+  node_increase_pct : float;
+  psg_nodes_k : float;  (** Table 5 *)
+  psg_edges_k : float;
+  cfg_arcs_k : float;
+}
+
+val benchmarks : paper_row list
+(** All 16, SPEC first, in the paper's order. *)
+
+val find : string -> paper_row option
+
+val params_of : ?scale:float -> paper_row -> Params.t
+(** Generator parameters reproducing the row's shape.  [scale] (default
+    [1.0]) shrinks routines and instructions proportionally for quick
+    runs.  The resulting workloads are analysis-only: calls are unguarded
+    and a small fraction of unknown jumps is included. *)

@@ -1,0 +1,485 @@
+open Spike_support
+open Spike_isa
+open Spike_ir
+open Spike_interp
+
+(* Register conventions inside generated code:
+   - t9  : call-guard scratch (budget counter manipulation)
+   - t11 : loop / switch dispatch scratch
+   - pv  : indirect call target
+   The random pool deliberately excludes them, plus sp/ra/gp/at/zero. *)
+let temp_pool =
+  Array.of_list
+    ([ Reg.v0; Reg.t0; Reg.t1; Reg.t2; Reg.t3; Reg.t4; Reg.t5; Reg.t6; Reg.t7;
+       Reg.t8; Reg.t10; Reg.a0; Reg.a1; Reg.a2; Reg.a3; Reg.a4; Reg.a5 ]
+    @ List.init 4 (fun i -> Reg.freg (10 + i)))
+
+(* Spill candidates: a gradient from never-killed (the pool excludes f14
+   and f15, so no generated code clobbers them) to usually-killed temps,
+   so that Figure 1(c) removes some but not all generated spills. *)
+let spill_pool =
+  [| Reg.freg 14; Reg.freg 15; Reg.freg 11; Reg.t7; Reg.a4; Reg.t10 |]
+
+let csave_pool = [| Reg.s0; Reg.s1; Reg.s2; Reg.s3; Reg.s4; Reg.s5 |]
+
+let budget_slot = 4096
+
+(* Sample an integer with the given mean: floor plus a Bernoulli trial on
+   the fraction.  Cheap stand-in for a Poisson draw; the per-routine means
+   match the calibration targets, which is what Table 3 measures. *)
+let sample_count g mean =
+  let base = int_of_float mean in
+  let frac = mean -. float_of_int base in
+  base + (if Prng.chance g frac then 1 else 0)
+
+type token = T_call | T_diamond | T_loop | T_switch | T_straight
+
+type routine_plan = {
+  index : int;  (* position in the program's routine array *)
+  name : string;
+  target_size : int;
+  exported : bool;
+  is_leaf : bool;
+      (* leaf routines make no calls and touch few registers; they are why
+         spilling around calls to them is often unnecessary (Fig. 1(c)) *)
+}
+
+type context = {
+  params : Params.t;
+  plans : routine_plan array;  (* bodies only, without main/stubs *)
+  stub_names : string array;
+  main_name : string;
+}
+
+(* --- Code fragments ---------------------------------------------------- *)
+
+let emit_straight g b ~pool ~scratch n =
+  for _ = 1 to n do
+    let dst = Prng.choose g pool in
+    let src () = Prng.choose g pool in
+    (match Prng.int g 6 with
+    | 0 -> Builder.emit b (Insn.Li { dst; imm = Prng.int g 1000 })
+    | 1 -> Builder.emit b (Insn.Mov { dst; src = src () })
+    | 2 ->
+        let op =
+          Prng.choose g [| Insn.Add; Insn.Sub; Insn.And; Insn.Or; Insn.Xor; Insn.Cmplt |]
+        in
+        Builder.emit b (Insn.Binop { op; dst; src1 = src (); src2 = Insn.Reg (src ()) })
+    | 3 ->
+        let op = Prng.choose g [| Insn.Add; Insn.Sub; Insn.Sll; Insn.Cmpeq |] in
+        Builder.emit b
+          (Insn.Binop { op; dst; src1 = src (); src2 = Insn.Imm (Prng.int g 64) })
+    | 4 ->
+        Builder.emit b (Insn.Load { dst; base = Reg.sp; offset = scratch + (8 * Prng.int g 8) })
+    | 5 ->
+        Builder.emit b
+          (Insn.Store { src = src (); base = Reg.sp; offset = scratch + (8 * Prng.int g 8) })
+    | _ -> assert false);
+  done
+
+(* A bounded call site.  Guarded sites cost ~5 extra instructions but make
+   whole-program execution terminate: the budget cell at
+   [budget_slot(zero)] is decremented before every body call and the call
+   is skipped once it runs out. *)
+let emit_call ?spill_slot ctx g b ~caller_index =
+  let p = ctx.params in
+  let spill =
+    match spill_slot with
+    | Some slot when Prng.chance g p.Params.spill_prob ->
+        Some (Prng.choose g spill_pool, slot)
+    | Some _ | None -> None
+  in
+  let before_call () =
+    match spill with
+    | Some (sr, slot) -> Builder.emit b (Insn.Store { src = sr; base = Reg.sp; offset = slot })
+    | None -> ()
+  in
+  let after_call () =
+    match spill with
+    | Some (sr, slot) ->
+        Builder.emit b (Insn.Load { dst = sr; base = Reg.sp; offset = slot });
+        (* A real use after the reload: the value was live across the
+           call. *)
+        Builder.emit b
+          (Insn.Binop { op = Insn.Or; dst = sr; src1 = sr; src2 = Insn.Imm 0 })
+    | None -> ()
+  in
+  let n_bodies = Array.length ctx.plans in
+  let pick_forward () =
+    if caller_index + 1 < n_bodies then
+      Prng.int_in g (caller_index + 1) (n_bodies - 1)
+    else caller_index
+  in
+  let pick_backward () = Prng.int_in g 0 caller_index in
+  let body_call () =
+    let callee =
+      if Prng.chance g p.Params.recursion_prob then pick_backward () else pick_forward ()
+    in
+    if Prng.chance g p.Params.indirect_known_prob && caller_index + 1 < n_bodies then begin
+      (* Indirect call with a declared target list: pick up to three
+         forward candidates and dial one of them in at generation time. *)
+      let k = 1 + Prng.int g 3 in
+      let candidates = List.init k (fun _ -> pick_forward ()) in
+      let candidates = List.sort_uniq Int.compare candidates in
+      let chosen = Prng.choose g (Array.of_list candidates) in
+      let names = List.map (fun i -> ctx.plans.(i).name) candidates in
+      Builder.emit b
+        (Insn.Li { dst = Reg.pv; imm = Machine.routine_address (ctx.plans.(chosen).index) });
+      Insn.Call { callee = Insn.Indirect (Reg.pv, Some names) }
+    end
+    else Insn.Call { callee = Insn.Direct ctx.plans.(callee).name }
+  in
+  let stub_call () =
+    let i = Prng.int g (Array.length ctx.stub_names) in
+    (* Stubs follow main and the bodies in the routine array. *)
+    let stub_index = 1 + Array.length ctx.plans + i in
+    Builder.emit b (Insn.Li { dst = Reg.pv; imm = Machine.routine_address stub_index });
+    Insn.Call { callee = Insn.Indirect (Reg.pv, None) }
+  in
+  if Prng.chance g p.Params.unknown_call_prob && Array.length ctx.stub_names > 0 then begin
+    (* Unknown-target calls hit conforming stubs; no guard needed: stubs
+       are straight-line.  The caller must itself conform to the calling
+       standard: nothing caller-saved survives a call to unknown code, so
+       re-establish every scratch register before any later read. *)
+    Builder.emit b (stub_call ());
+    Array.iter
+      (fun dst -> Builder.emit b (Insn.Li { dst; imm = Prng.int g 100 }))
+      (Array.append temp_pool spill_pool)
+  end
+  else if p.Params.guard_calls then begin
+    let skip = Builder.fresh_label b "skip" in
+    Builder.emit b (Insn.Load { dst = Reg.t9; base = Reg.zero; offset = budget_slot });
+    Builder.emit b
+      (Insn.Binop { op = Insn.Sub; dst = Reg.t9; src1 = Reg.t9; src2 = Insn.Imm 1 });
+    Builder.emit b (Insn.Store { src = Reg.t9; base = Reg.zero; offset = budget_slot });
+    Builder.emit b (Insn.Bcond { cond = Insn.Le; src = Reg.t9; target = skip });
+    (* The spill belongs to the call path only. *)
+    before_call ();
+    let call = body_call () in
+    Builder.emit b call;
+    after_call ();
+    Builder.label b skip
+  end
+  else begin
+    before_call ();
+    Builder.emit b (body_call ());
+    after_call ()
+  end
+
+let emit_diamond ctx g b ~pool ~scratch ~pad =
+  let else_label = Builder.fresh_label b "else" in
+  let join = Builder.fresh_label b "join" in
+  let cond = Prng.choose g [| Insn.Eq; Insn.Ne; Insn.Lt; Insn.Ge |] in
+  Builder.emit b (Insn.Bcond { cond; src = Prng.choose g pool; target = else_label });
+  emit_straight g b ~pool ~scratch (1 + Prng.int g pad);
+  Builder.emit b (Insn.Br { target = join });
+  Builder.label b else_label;
+  emit_straight g b ~pool ~scratch (1 + Prng.int g pad);
+  Builder.label b join;
+  ignore ctx
+
+(* A counter loop whose trip count lives in a stack slot, so that it
+   terminates even if the scratch register is clobbered. *)
+let emit_loop ctx g b ~pool ~caller_index ~scratch ~slot ~pad =
+  let head = Builder.fresh_label b "loop" in
+  Builder.emit b (Insn.Li { dst = Reg.t11; imm = 2 + Prng.int g 4 });
+  Builder.emit b (Insn.Store { src = Reg.t11; base = Reg.sp; offset = slot });
+  Builder.label b head;
+  emit_straight g b ~pool ~scratch (1 + Prng.int g pad);
+  (* Calls inside loops connect their return points to every call in the
+     loop through the back edge: vortex's many-PSG-edges pattern. *)
+  if Prng.chance g ctx.params.Params.loop_call_prob then begin
+    (* Each call sits under its own conditional skip ("if (p) f();"), so
+       any call's return point reaches every other call around the back
+       edge: the quadratic connectivity the paper observes in vortex. *)
+    let burst = 2 + Prng.int g 4 in
+    for _ = 1 to burst do
+      let skip = Builder.fresh_label b "lskip" in
+      let cond = Prng.choose g [| Insn.Eq; Insn.Lt; Insn.Ge |] in
+      Builder.emit b (Insn.Bcond { cond; src = Prng.choose g pool; target = skip });
+      emit_call ctx g b ~caller_index;
+      Builder.label b skip
+    done
+  end;
+  Builder.emit b (Insn.Load { dst = Reg.t11; base = Reg.sp; offset = slot });
+  Builder.emit b
+    (Insn.Binop { op = Insn.Sub; dst = Reg.t11; src1 = Reg.t11; src2 = Insn.Imm 1 });
+  Builder.emit b (Insn.Store { src = Reg.t11; base = Reg.sp; offset = slot });
+  Builder.emit b (Insn.Bcond { cond = Insn.Gt; src = Reg.t11; target = head })
+
+(* A jump-table dispatch driven by a decrementing memory counter (bounded
+   even when arms loop back), with optional call sites in the arms. *)
+let emit_switch ctx g b ~pool ~caller_index ~scratch ~slot ~pad =
+  let p = ctx.params in
+  let fanout = max 2 p.Params.switch_fanout in
+  let head = Builder.fresh_label b "sw" in
+  let done_ = Builder.fresh_label b "swend" in
+  let arms = List.init fanout (fun _ -> Builder.fresh_label b "arm") in
+  Builder.emit b (Insn.Li { dst = Reg.t11; imm = fanout + Prng.int g 8 });
+  Builder.emit b (Insn.Store { src = Reg.t11; base = Reg.sp; offset = slot });
+  Builder.label b head;
+  Builder.emit b (Insn.Load { dst = Reg.t11; base = Reg.sp; offset = slot });
+  Builder.emit b
+    (Insn.Binop { op = Insn.Sub; dst = Reg.t11; src1 = Reg.t11; src2 = Insn.Imm 1 });
+  Builder.emit b (Insn.Store { src = Reg.t11; base = Reg.sp; offset = slot });
+  Builder.emit b (Insn.Bcond { cond = Insn.Le; src = Reg.t11; target = done_ });
+  Builder.emit b (Insn.Switch { index = Reg.t11; table = Array.of_list arms });
+  List.iter
+    (fun arm ->
+      Builder.label b arm;
+      if Prng.chance g p.Params.switch_arm_calls then
+        emit_call ctx g b ~caller_index;
+      emit_straight g b ~pool ~scratch (1 + Prng.int g pad);
+      if Prng.chance g p.Params.switch_loop_prob then
+        Builder.emit b (Insn.Br { target = head })
+      else Builder.emit b (Insn.Br { target = done_ }))
+    arms;
+  Builder.label b done_
+
+(* --- Whole routines ---------------------------------------------------- *)
+
+(* Fraction of routines that are leaves, and the call-density correction
+   applied to the others so the per-routine averages still match the
+   calibration targets. *)
+let leaf_fraction = 0.25
+
+let generate_body_routine ctx g (plan : routine_plan) =
+  let ctx =
+    if plan.is_leaf then
+      {
+        ctx with
+        params =
+          {
+            ctx.params with
+            Params.calls_per_routine = 0.0;
+            switch_arm_calls = 0.0;
+            loop_call_prob = 0.0;
+            unknown_call_prob = 0.0;
+            spill_prob = 0.0;
+          };
+      }
+    else ctx
+  in
+  let p = ctx.params in
+  let b = Builder.create ~exported:plan.exported plan.name in
+  (* Each routine allocates registers sparsely, like real compiler output:
+     a small random subset of the scratch registers.  This is what gives
+     per-routine summaries their variance — and what makes some generated
+     spills removable (the callee subtree may simply never touch the
+     spilled register). *)
+  let pool =
+    let arr = Array.copy temp_pool in
+    Prng.shuffle g arr;
+    let size = if plan.is_leaf then 3 + Prng.int g 3 else 5 + Prng.int g 6 in
+    Array.sub arr 0 size
+  in
+  Builder.declare_entry b (plan.name ^ "$entry");
+  Builder.label b (plan.name ^ "$entry");
+  (* Prologue: optional frame with callee-saved saves. *)
+  let csaves =
+    if Prng.chance g p.Params.save_restore_prob then begin
+      let count = 1 + Prng.int g 3 in
+      let regs = Array.copy csave_pool in
+      Prng.shuffle g regs;
+      Array.to_list (Array.sub regs 0 count)
+    end
+    else []
+  in
+  (* Non-leaf routines must preserve ra across their own calls; saving it
+     unconditionally keeps the prologue uniform (the routine body may grow
+     calls inside switch arms that the plan didn't count). *)
+  let saves = csaves @ [ Reg.ra ] in
+  (* Token plan (needed now: the frame must reserve a counter slot per loop
+     and per switch, plus a scratch region, all inside the frame so that a
+     routine never writes into an ancestor's stack). *)
+  let n_calls =
+    sample_count g (p.Params.calls_per_routine /. (1.0 -. leaf_fraction))
+  in
+  let n_diamonds = sample_count g (p.Params.branches_per_routine /. 2.0) in
+  let n_loops = sample_count g p.Params.loops_per_routine in
+  let n_switches = sample_count g p.Params.switches_per_routine in
+  let scratch = 8 * List.length saves in
+  let slots_base = scratch + 64 in
+  let frame_size = slots_base + (16 * (n_loops + n_switches + n_calls)) + 16 in
+  Builder.emit b (Insn.Lda { dst = Reg.sp; base = Reg.sp; offset = -frame_size });
+  List.iteri
+    (fun i s -> Builder.emit b (Insn.Store { src = s; base = Reg.sp; offset = 8 * i }))
+    saves;
+  (* Initialize the scratch region: compiled code never reads stack it did
+     not write, and leaving it to chance would make the values of dead
+     stores from other activations observable. *)
+  for k = 0 to 7 do
+    Builder.emit b (Insn.Store { src = Reg.zero; base = Reg.sp; offset = scratch + (8 * k) })
+  done;
+  (* Give saved registers some interior traffic so saving them matters. *)
+  List.iter
+    (fun s ->
+      if Prng.bool g then Builder.emit b (Insn.Li { dst = s; imm = Prng.int g 100 }))
+    csaves;
+  let tokens =
+    Array.of_list
+      (List.concat
+         [
+           List.init n_calls (fun _ -> T_call);
+           List.init n_diamonds (fun _ -> T_diamond);
+           List.init n_loops (fun _ -> T_loop);
+           List.init n_switches (fun _ -> T_switch);
+           List.init 2 (fun _ -> T_straight);
+         ])
+  in
+  Prng.shuffle g tokens;
+  (* Straight-line padding per slot, from the size budget left after the
+     estimated construct overhead. *)
+  let overhead =
+    8 (* scratch initialization *)
+    + (n_calls * if p.Params.guard_calls then 6 else 2)
+    + (n_diamonds * 6)
+    + (n_loops * 8)
+    + (n_switches * (8 + (3 * max 2 p.Params.switch_fanout)))
+    + 8
+  in
+  let slots = Array.length tokens + 1 in
+  let pad = max 1 ((plan.target_size - overhead) / max 1 slots / 2) in
+  let n_exits = max 1 (sample_count g p.Params.exits_per_routine) in
+  let epilogues = List.init n_exits (fun i -> Printf.sprintf "%s$epi%d" plan.name i) in
+  let extra_epilogues = match epilogues with [] -> [] | _ :: rest -> rest in
+  let pending_exit_branches = ref extra_epilogues in
+  let unknown_jump =
+    if Prng.chance g p.Params.unknown_jump_prob then
+      Some (plan.name ^ "$ujmp")
+    else None
+  in
+  let next_slot = ref slots_base in
+  let fresh_slot () =
+    let s = !next_slot in
+    next_slot := s + 16;
+    s
+  in
+  let maybe_early_exit () =
+    match !pending_exit_branches with
+    | epi :: rest when Prng.chance g 0.6 ->
+        pending_exit_branches := rest;
+        let cond = Prng.choose g [| Insn.Eq; Insn.Lt |] in
+        Builder.emit b (Insn.Bcond { cond; src = Prng.choose g pool; target = epi })
+    | _ -> ()
+  in
+  emit_straight g b ~pool ~scratch pad;
+  Array.iter
+    (fun token ->
+      (match token with
+      | T_call -> emit_call ~spill_slot:(fresh_slot ()) ctx g b ~caller_index:(plan.index - 1)
+      | T_diamond -> emit_diamond ctx g b ~pool ~scratch ~pad
+      | T_loop -> emit_loop ctx g b ~pool ~caller_index:(plan.index - 1) ~scratch ~slot:(fresh_slot ()) ~pad
+      | T_switch ->
+          emit_switch ctx g b ~pool ~caller_index:(plan.index - 1) ~scratch ~slot:(fresh_slot ()) ~pad
+      | T_straight -> emit_straight g b ~pool ~scratch pad);
+      maybe_early_exit ())
+    tokens;
+  (* Top up with straight-line filler so the routine hits its planned
+     size: construct overhead is estimated, not exact. *)
+  let epilogue_cost = n_exits * (List.length saves + 2) in
+  let deficit = plan.target_size - Builder.position b - epilogue_cost in
+  if deficit > 0 then emit_straight g b ~pool ~scratch deficit;
+  (* Route any unused extra epilogues somewhere reachable. *)
+  List.iter
+    (fun epi ->
+      Builder.emit b (Insn.Bcond { cond = Insn.Ne; src = Prng.choose g pool; target = epi }))
+    !pending_exit_branches;
+  (match unknown_jump with
+  | Some l ->
+      Builder.emit b
+        (Insn.Bcond { cond = Insn.Eq; src = Prng.choose g pool; target = l })
+  | None -> ());
+  (* Epilogues: restores, frame pop, ret. *)
+  List.iter
+    (fun epi ->
+      Builder.label b epi;
+      List.iteri
+        (fun i s -> Builder.emit b (Insn.Load { dst = s; base = Reg.sp; offset = 8 * i }))
+        saves;
+      Builder.emit b (Insn.Lda { dst = Reg.sp; base = Reg.sp; offset = frame_size });
+      Builder.emit b Insn.Ret)
+    epilogues;
+  (match unknown_jump with
+  | Some l ->
+      Builder.label b l;
+      Builder.emit b (Insn.Jump_unknown { target = Prng.choose g pool })
+  | None -> ());
+  (* Occasional second entry point into the middle of the body. *)
+  if Prng.chance g p.Params.extra_entry_prob then begin
+    let position = Builder.position b in
+    if position > 1 then begin
+      (* A label at a random existing instruction would need tracking; use
+         the first epilogue, which is always a block start. *)
+      Builder.declare_entry b (List.hd epilogues)
+    end
+  end;
+  Builder.finish b
+
+let generate_stub name =
+  let b = Builder.create ~exported:true name in
+  Builder.emit b (Insn.Binop { op = Insn.Add; dst = Reg.v0; src1 = Reg.a0; src2 = Insn.Reg Reg.a1 });
+  Builder.emit b (Insn.Binop { op = Insn.Xor; dst = Reg.t0; src1 = Reg.a2; src2 = Insn.Imm 3 });
+  Builder.emit b (Insn.Li { dst = Reg.f0; imm = 1 });
+  Builder.emit b Insn.Ret;
+  Builder.finish b
+
+let generate_main ctx g =
+  let b = Builder.create ~exported:true ctx.main_name in
+  (* Initialize the global call budget. *)
+  if ctx.params.Params.guard_calls then begin
+    Builder.emit b (Insn.Li { dst = Reg.t9; imm = 512 });
+    Builder.emit b (Insn.Store { src = Reg.t9; base = Reg.zero; offset = budget_slot })
+  end;
+  let n_bodies = Array.length ctx.plans in
+  let n_roots = min n_bodies (1 + Prng.int g 3) in
+  Builder.emit b (Insn.Li { dst = Reg.v0; imm = 1 });
+  for _ = 1 to n_roots do
+    let root = ctx.plans.(Prng.int g (max 1 (min n_bodies 4))) in
+    Builder.emit b (Insn.Call { callee = Insn.Direct root.name });
+    (* Fold call results into an observable checksum: makes v0 depend on
+       real dataflow, so semantics-preservation tests have teeth. *)
+    let witness = Prng.choose g [| Reg.t0; Reg.t3; Reg.a1; Reg.a4; Reg.t8 |] in
+    Builder.emit b
+      (Insn.Binop { op = Insn.Xor; dst = Reg.v0; src1 = Reg.v0; src2 = Insn.Reg witness })
+  done;
+  if ctx.params.Params.guard_calls then begin
+    (* The residual budget witnesses how many guarded calls ran. *)
+    Builder.emit b (Insn.Load { dst = Reg.t9; base = Reg.zero; offset = budget_slot });
+    Builder.emit b
+      (Insn.Binop { op = Insn.Add; dst = Reg.v0; src1 = Reg.v0; src2 = Insn.Reg Reg.t9 })
+  end;
+  Builder.emit b Insn.Ret;
+  Builder.finish b
+
+let generate (p : Params.t) =
+  let g = Prng.create p.Params.seed in
+  let n = max 1 p.Params.routines in
+  let per_routine = max 8 (p.Params.target_instructions / n) in
+  let leaves = int_of_float (float_of_int n *. leaf_fraction) in
+  let plans =
+    Array.init n (fun i ->
+        let jitter = 0.4 +. Prng.float g 1.2 in
+        {
+          index = i + 1;
+          (* main occupies index 0 *)
+          name = Printf.sprintf "r%d" i;
+          target_size = max 8 (int_of_float (float_of_int per_routine *. jitter));
+          exported = Prng.chance g p.Params.exported_prob;
+          is_leaf = i >= n - leaves;
+        })
+  in
+  let n_stubs = if p.Params.unknown_call_prob > 0.0 then max 1 (n / 64) else 0 in
+  let stub_names = Array.init n_stubs (Printf.sprintf "stub%d") in
+  let ctx = { params = p; plans; stub_names; main_name = "main" } in
+  let bodies =
+    Array.to_list
+      (Array.map
+         (fun plan ->
+           let gr = Prng.split g in
+           generate_body_routine ctx gr plan)
+         plans)
+  in
+  let stubs = Array.to_list (Array.map generate_stub stub_names) in
+  let main = generate_main ctx (Prng.split g) in
+  Program.make ~main:ctx.main_name ((main :: bodies) @ stubs)

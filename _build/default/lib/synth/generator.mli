@@ -1,0 +1,21 @@
+(** Deterministic random program generator.
+
+    Produces well-formed whole programs whose structural statistics
+    (routines, basic blocks, instructions, calls/branches/switches per
+    routine, entries/exits, save-restore idioms, indirect and unknown
+    calls) track a {!Params.t}.  Programs generated with
+    [guard_calls = true] always terminate under {!Spike_interp.Machine}:
+    every call into the body call graph is guarded by a global budget
+    counter in memory, loops and switch dispatches run off decrementing
+    memory counters, and unknown-target indirect calls are routed to
+    generated calling-standard-conforming stub routines (which are marked
+    exported, modelling address-taken routines).
+
+    The same [Params.t] always yields the identical program — the
+    generator draws exclusively from a {!Spike_support.Prng.t} seeded from
+    [params.seed], with an independent split per routine. *)
+
+open Spike_ir
+
+val generate : Params.t -> Program.t
+(** The result always passes {!Spike_ir.Validate.check}. *)

@@ -1,0 +1,55 @@
+type t = {
+  seed : int;
+  routines : int;
+  target_instructions : int;
+  calls_per_routine : float;
+  branches_per_routine : float;
+  switches_per_routine : float;
+  switch_fanout : int;
+  switch_loop_prob : float;
+  switch_arm_calls : float;
+  exits_per_routine : float;
+  extra_entry_prob : float;
+  recursion_prob : float;
+  indirect_known_prob : float;
+  unknown_call_prob : float;
+  unknown_jump_prob : float;
+  exported_prob : float;
+  save_restore_prob : float;
+  loops_per_routine : float;
+  loop_call_prob : float;
+  spill_prob : float;
+  guard_calls : bool;
+}
+
+let default =
+  {
+    seed = 42;
+    routines = 12;
+    target_instructions = 600;
+    calls_per_routine = 3.0;
+    branches_per_routine = 4.0;
+    switches_per_routine = 0.3;
+    switch_fanout = 4;
+    switch_loop_prob = 0.5;
+    switch_arm_calls = 0.5;
+    exits_per_routine = 1.4;
+    extra_entry_prob = 0.02;
+    recursion_prob = 0.15;
+    indirect_known_prob = 0.05;
+    unknown_call_prob = 0.05;
+    unknown_jump_prob = 0.0;
+    exported_prob = 0.1;
+    save_restore_prob = 0.4;
+    loops_per_routine = 0.8;
+    loop_call_prob = 0.3;
+    spill_prob = 0.25;
+    guard_calls = true;
+  }
+
+let scale p f =
+  {
+    p with
+    routines = max 1 (int_of_float (float_of_int p.routines *. f));
+    target_instructions = max 8 (int_of_float (float_of_int p.target_instructions *. f));
+  }

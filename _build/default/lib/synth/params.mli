@@ -1,0 +1,65 @@
+(** Shape parameters for the synthetic workload generator.
+
+    Each field controls one structural characteristic the paper's
+    evaluation depends on (Tables 2–4): program size, call density, branch
+    density, multiway-branch behaviour, entries/exits per routine, and the
+    features that exercise §3.4/§3.5 (callee-saved save/restore, indirect
+    and unknown calls, unknown jumps).  {!Calibrate} provides one record
+    per paper benchmark. *)
+
+type t = {
+  seed : int;  (** root of the deterministic generation stream *)
+  routines : int;  (** number of routines besides [main] and stubs *)
+  target_instructions : int;  (** approximate whole-program size *)
+  calls_per_routine : float;
+  branches_per_routine : float;
+      (** two-way conditional constructs per routine (each if-diamond
+          contributes a conditional and an unconditional branch) *)
+  switches_per_routine : float;  (** multiway branches per routine *)
+  switch_fanout : int;  (** jump-table size *)
+  switch_loop_prob : float;
+      (** probability that a switch arm loops back to the dispatch — the
+          pattern that blows up PSG edges without branch nodes (§3.6) *)
+  switch_arm_calls : float;
+      (** probability that a switch arm contains a call site *)
+  exits_per_routine : float;  (** epilogues ([ret]s) per routine, >= 1 *)
+  extra_entry_prob : float;  (** probability of a second entry point *)
+  recursion_prob : float;
+      (** probability that a call site targets a same-or-earlier routine
+          (creating call-graph cycles) *)
+  indirect_known_prob : float;
+      (** fraction of calls made indirect with a declared target list *)
+  unknown_call_prob : float;
+      (** fraction of calls made indirect with no static target; these are
+          routed to generated calling-standard-conforming stubs *)
+  unknown_jump_prob : float;
+      (** per-routine probability of an indirect jump with unknown targets
+          (makes the program non-executable; keep 0 for interpreter
+          tests) *)
+  exported_prob : float;  (** probability a routine is marked exported *)
+  save_restore_prob : float;
+      (** probability a routine saves/restores callee-saved registers
+          (exercising the §3.4 filter) *)
+  loops_per_routine : float;  (** bounded counter loops per routine *)
+  loop_call_prob : float;
+      (** probability a loop body contains a call site — the pattern that
+          gives vortex-like high PSG edge counts (calls connected to each
+          other through the loop's back edge) *)
+  spill_prob : float;
+      (** probability a call site spills a register around the call, the
+          compiler-must-assume-killed pattern that Figure 1(c) removes
+          when the summary disagrees *)
+  guard_calls : bool;
+      (** wrap every call in a global-budget guard so generated programs
+          terminate under the interpreter; off for analysis-only
+          workloads *)
+}
+
+val default : t
+(** A small, executable program shape: 12 routines, ~600 instructions,
+    guards on, no unknown jumps. *)
+
+val scale : t -> float -> t
+(** [scale p f] multiplies the program size (routines and instructions) by
+    [f], keeping per-routine shape fixed — the knob for the Figure 14/15
+    sweeps. *)

@@ -1,0 +1,151 @@
+(* The assembly front-end: print/parse round-trips (hand-written and
+   generator-produced programs), every instruction form, and error
+   reporting with line numbers. *)
+
+open Spike_isa
+open Spike_ir
+
+let program_eq a b =
+  String.equal (Spike_asm.Printer.to_string a) (Spike_asm.Printer.to_string b)
+
+let roundtrip msg p =
+  let text = Spike_asm.Printer.to_string p in
+  let p' = Spike_asm.Parser.program_of_string text in
+  if not (program_eq p p') then
+    Alcotest.failf "%s: roundtrip mismatch@.first print:@.%s@.reparsed print:@.%s" msg
+      text
+      (Spike_asm.Printer.to_string p')
+
+(* One routine exercising every instruction form the printer can emit. *)
+let kitchen_sink =
+  let b = Builder.create ~exported:true "sink" in
+  Builder.emit b (Insn.Li { dst = Reg.t0; imm = -5 });
+  Builder.emit b (Insn.Lda { dst = Reg.sp; base = Reg.sp; offset = -32 });
+  Builder.emit b (Insn.Mov { dst = Reg.a0; src = Reg.t0 });
+  Builder.emit b (Insn.Binop { op = Insn.Add; dst = Reg.v0; src1 = Reg.t0; src2 = Insn.Reg Reg.t1 });
+  Builder.emit b (Insn.Binop { op = Insn.Sll; dst = Reg.v0; src1 = Reg.v0; src2 = Insn.Imm 3 });
+  Builder.emit b (Insn.Load { dst = Reg.t2; base = Reg.sp; offset = 8 });
+  Builder.emit b (Insn.Store { src = Reg.t2; base = Reg.sp; offset = 16 });
+  Builder.emit b (Insn.Bcond { cond = Insn.Ge; src = Reg.t2; target = "skip" });
+  Builder.emit b (Insn.Switch { index = Reg.t3; table = [| "skip"; "other" |] });
+  Builder.label b "other";
+  Builder.emit b (Insn.Call { callee = Insn.Direct "ext" });
+  Builder.emit b (Insn.Call { callee = Insn.Indirect (Reg.pv, None) });
+  Builder.emit b (Insn.Call { callee = Insn.Indirect (Reg.pv, Some [ "a"; "b" ]) });
+  Builder.emit b Insn.Nop;
+  Builder.label b "skip";
+  Builder.emit b (Insn.Lda { dst = Reg.sp; base = Reg.sp; offset = 32 });
+  Builder.emit b (Insn.Jump_unknown { target = Reg.t4 });
+  Builder.finish b
+
+let test_kitchen_sink () =
+  roundtrip "kitchen sink" (Program.make ~main:"sink" [ kitchen_sink ])
+
+let test_multi_entry_and_exports () =
+  let b = Builder.create ~exported:true "m" in
+  Builder.declare_entry b "m$a";
+  Builder.label b "m$a";
+  Builder.emit b (Insn.Li { dst = Reg.t0; imm = 1 });
+  Builder.declare_entry b "m$b";
+  Builder.label b "m$b";
+  Builder.emit b Insn.Ret;
+  let r = Builder.finish b in
+  let p = Program.make ~main:"m" [ r ] in
+  roundtrip "multi-entry exported" p;
+  let reparsed = Spike_asm.Parser.program_of_string (Spike_asm.Printer.to_string p) in
+  match Program.find reparsed "m" with
+  | Some m ->
+      Alcotest.(check (list string)) "entries survive" [ "m$a"; "m$b" ] m.Routine.entries;
+      Alcotest.(check bool) "exported survives" true m.Routine.exported
+  | None -> Alcotest.fail "routine lost"
+
+let test_generated_roundtrip () =
+  for seed = 0 to 9 do
+    let p =
+      Spike_synth.Generator.generate { Spike_synth.Params.default with seed }
+    in
+    roundtrip (Printf.sprintf "generated seed %d" seed) p
+  done;
+  (* Also the analysis-only shapes with unknown jumps. *)
+  let p =
+    Spike_synth.Generator.generate
+      {
+        Spike_synth.Params.default with
+        seed = 77;
+        unknown_jump_prob = 0.4;
+        guard_calls = false;
+      }
+  in
+  roundtrip "unknown-jump workload" p
+
+let expect_error ~line text =
+  match Spike_asm.Parser.program_of_string text with
+  | _ -> Alcotest.failf "expected a parse error at line %d" line
+  | exception Spike_asm.Parser.Error e ->
+      Alcotest.(check int) "error line" line e.line
+
+let test_errors () =
+  expect_error ~line:1 "bogus";
+  expect_error ~line:2 ".main m\n.routine\n";
+  expect_error ~line:3 ".main m\n.routine m\n  li xyzzy, 1\n.end\n";
+  expect_error ~line:3 ".main m\n.routine m\n  frobnicate t0\n.end\n";
+  expect_error ~line:4 ".main m\n.routine m\n  ret\n  jsr ra, (pv), [a,\n.end\n";
+  expect_error ~line:3 ".main m\n.routine m\n  li t0, 99999999999999999999999\n.end\n";
+  expect_error ~line:0 ".main m\n.routine m\n  ret\n";
+  (* unterminated routine *)
+  expect_error ~line:0 "";
+  (* no .main *)
+  expect_error ~line:3 ".main m\n.routine m\n.routine n\n.end\n.end\n"
+
+let test_comments_and_blank_lines () =
+  let text =
+    "# leading comment\n\n.main m   # trailing\n.routine m\n  li t0, 3 # imm\n\n  \
+     ret\n.end\n"
+  in
+  let p = Spike_asm.Parser.program_of_string text in
+  Alcotest.(check int) "instructions" 2 (Program.instruction_count p)
+
+let test_file_io () =
+  let p = Program.make ~main:"sink" [ kitchen_sink ] in
+  let path = Filename.temp_file "spike_asm_test" ".s" in
+  Spike_asm.Printer.to_file path p;
+  let p' = Spike_asm.Parser.program_of_file path in
+  Sys.remove path;
+  if not (program_eq p p') then Alcotest.fail "file roundtrip mismatch"
+
+(* The parser must be total: any input either parses or raises its own
+   Error — never an unexpected exception. *)
+let test_fuzz_totality () =
+  let g = Spike_support.Prng.create 1234 in
+  let alphabet = "abz09 _$.,:(){}[]=#-\nliret" in
+  for _ = 1 to 2000 do
+    let len = Spike_support.Prng.int g 120 in
+    let text =
+      String.init len (fun _ ->
+          alphabet.[Spike_support.Prng.int g (String.length alphabet)])
+    in
+    (match Spike_asm.Parser.program_of_string text with
+    | _ -> ()
+    | exception Spike_asm.Parser.Error _ -> ());
+    match Spike_asm.Summaries.of_string text with
+    | _ -> ()
+    | exception Spike_asm.Summaries.Error _ -> ()
+  done
+
+let () =
+  Alcotest.run "asm"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "kitchen sink" `Quick test_kitchen_sink;
+          Alcotest.test_case "multi-entry + exported" `Quick test_multi_entry_and_exports;
+          Alcotest.test_case "generated programs" `Quick test_generated_roundtrip;
+          Alcotest.test_case "file io" `Quick test_file_io;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "positions" `Quick test_errors;
+          Alcotest.test_case "comments and blanks" `Quick test_comments_and_blank_lines;
+          Alcotest.test_case "fuzz totality" `Quick test_fuzz_totality;
+        ] );
+    ]

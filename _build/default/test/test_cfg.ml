@@ -1,0 +1,172 @@
+(* CFG construction: block partitioning (including the ends-at-call rule),
+   arcs, orders, and DEF/UBD computation — validated against a naive
+   per-instruction simulation on random programs. *)
+
+open Spike_support
+open Spike_isa
+open Spike_ir
+open Spike_cfg
+open Test_helpers
+
+let regset = Alcotest.testable (Regset.pp ~name:Reg.name) Regset.equal
+
+let diamond_with_call () =
+  routine "g"
+    [
+      (None, use r1);
+      (None, li r2 1);
+      (None, beq r2 "bb3");
+      (None, li r3 2);
+      (None, br "bb4");
+      (Some "bb3", li r1 4);
+      (None, call "f");
+      (Some "bb4", ret);
+    ]
+
+let test_partition () =
+  let g = Cfg.build (diamond_with_call ()) in
+  Alcotest.(check int) "four blocks" 4 (Cfg.block_count g);
+  (* Blocks tile the instruction stream. *)
+  let covered = Array.make 8 (-1) in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      for i = b.first to b.last do
+        if covered.(i) <> -1 then Alcotest.failf "instruction %d in two blocks" i;
+        covered.(i) <- b.id
+      done)
+    g.blocks;
+  Array.iteri
+    (fun i owner -> if owner = -1 then Alcotest.failf "instruction %d uncovered" i)
+    covered;
+  Alcotest.(check (list int)) "block_of_insn matches" (Array.to_list covered)
+    (Array.to_list g.block_of_insn);
+  (* The call ends its block; the return point starts the next. *)
+  (match g.blocks.(2).ending with
+  | Ends_call (Insn.Direct "f") -> ()
+  | _ -> Alcotest.fail "block 2 should end with the call");
+  Alcotest.(check int) "call block ends at call" 6 g.blocks.(2).last;
+  (match g.blocks.(3).ending with
+  | Ends_ret -> ()
+  | _ -> Alcotest.fail "block 3 should be the exit");
+  Alcotest.(check (list int)) "exit blocks" [ 3 ] (Cfg.exit_blocks g);
+  Alcotest.(check int) "one call site" 1 (List.length (Cfg.call_sites g));
+  Alcotest.(check int) "branch instructions" 2 (Cfg.branch_instruction_count g)
+
+let test_arcs_symmetry () =
+  for seed = 0 to 9 do
+    let p = Spike_synth.Generator.generate { Spike_synth.Params.default with seed } in
+    Program.iter
+      (fun _ r ->
+        let g = Cfg.build r in
+        Array.iter
+          (fun (b : Cfg.block) ->
+            Array.iter
+              (fun s ->
+                if not (Array.exists (fun p' -> p' = b.id) g.blocks.(s).preds) then
+                  Alcotest.failf "%s: arc B%d->B%d missing reverse" r.Routine.name b.id s)
+              b.succs;
+            Array.iter
+              (fun pr ->
+                if not (Array.exists (fun s' -> s' = b.id) g.blocks.(pr).succs) then
+                  Alcotest.failf "%s: pred B%d of B%d missing forward" r.Routine.name pr
+                    b.id)
+              b.preds)
+          g.blocks)
+      p
+  done
+
+let test_reverse_postorder () =
+  let g = Cfg.build (diamond_with_call ()) in
+  let rpo = Cfg.reverse_postorder g in
+  Alcotest.(check int) "covers all blocks" (Cfg.block_count g) (Array.length rpo);
+  let position = Array.make (Cfg.block_count g) 0 in
+  Array.iteri (fun i b -> position.(b) <- i) rpo;
+  (* For this acyclic CFG, RPO is a topological order. *)
+  Array.iter
+    (fun (b : Cfg.block) ->
+      Array.iter
+        (fun s ->
+          if position.(s) <= position.(b.id) then
+            Alcotest.failf "B%d before its predecessor B%d" s b.id)
+        b.succs)
+    g.blocks
+
+(* DEF/UBD against a straightforward per-instruction simulation. *)
+let naive_def_ubd (r : Routine.t) (b : Cfg.block) =
+  let upper =
+    if Insn.is_call r.insns.(b.last) then b.last - 1 else b.last
+  in
+  let def = ref Regset.empty and ubd = ref Regset.empty in
+  for i = b.first to upper do
+    Regset.iter
+      (fun reg -> if not (Regset.mem reg !def) then ubd := Regset.add reg !ubd)
+      (Insn.uses r.insns.(i));
+    Regset.iter (fun reg -> def := Regset.add reg !def) (Insn.defs r.insns.(i))
+  done;
+  (!def, !ubd)
+
+let test_defuse_matches_naive () =
+  for seed = 0 to 9 do
+    let p = Spike_synth.Generator.generate { Spike_synth.Params.default with seed } in
+    Program.iter
+      (fun _ r ->
+        let g = Cfg.build r in
+        let du = Defuse.compute g in
+        Array.iter
+          (fun (b : Cfg.block) ->
+            let def, ubd = naive_def_ubd r b in
+            Alcotest.check regset
+              (Printf.sprintf "%s B%d def" r.Routine.name b.id)
+              def (Defuse.def du b.id);
+            Alcotest.check regset
+              (Printf.sprintf "%s B%d ubd" r.Routine.name b.id)
+              ubd (Defuse.ubd du b.id))
+          g.blocks)
+      p
+  done
+
+let test_switch_and_unknown_blocks () =
+  let r =
+    routine "s"
+      [
+        (Some "head", switch r1 [ "a"; "b" ]);
+        (Some "a", li r2 1);
+        (None, br "head");
+        (Some "b", Insn.Jump_unknown { target = r3 });
+      ]
+  in
+  let g = Cfg.build r in
+  (match g.blocks.(0).ending with
+  | Ends_switch -> ()
+  | _ -> Alcotest.fail "switch block");
+  Alcotest.(check (list int)) "unknown jump blocks" [ 2 ] (Cfg.unknown_jump_blocks g);
+  Alcotest.(check (list int)) "no exits" [] (Cfg.exit_blocks g);
+  (* Switch successors are deduplicated and ordered. *)
+  Alcotest.(check (list int)) "switch succs" [ 1; 2 ]
+    (List.sort Int.compare (Array.to_list g.blocks.(0).succs))
+
+let test_multiple_entries () =
+  let r =
+    routine ~entries:[ "e1"; "e2" ] "m"
+      [ (Some "e1", li r1 1); (Some "e2", li r2 2); (None, ret) ]
+  in
+  let g = Cfg.build r in
+  Alcotest.(check int) "entry blocks" 2 (List.length g.entry_blocks);
+  Alcotest.(check (option int)) "e2 at block 1" (Some 1)
+    (List.assoc_opt "e2" g.entry_blocks)
+
+let () =
+  Alcotest.run "cfg"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "partition" `Quick test_partition;
+          Alcotest.test_case "arc symmetry" `Quick test_arcs_symmetry;
+          Alcotest.test_case "reverse postorder" `Quick test_reverse_postorder;
+          Alcotest.test_case "switch + unknown" `Quick test_switch_and_unknown_blocks;
+          Alcotest.test_case "multiple entries" `Quick test_multiple_entries;
+        ] );
+      ( "defuse",
+        [ Alcotest.test_case "matches naive simulation" `Quick test_defuse_matches_naive ]
+      );
+    ]

@@ -1,0 +1,382 @@
+(* Core analysis units: the per-edge dataflow, callee-saved save/restore
+   detection, PSG statistics, call-site summary merging, and analysis
+   behaviour on recursion, multiple entries, and unknown calls. *)
+
+open Spike_support
+open Spike_isa
+open Spike_core
+open Test_helpers
+
+let regset = regset_testable
+
+(* --- Edge_dataflow ------------------------------------------------------- *)
+
+let test_edge_dataflow_algebra () =
+  let a =
+    {
+      Edge_dataflow.may_use = rs [ 1 ];
+      may_def = rs [ 2 ];
+      must_def = rs [ 2; 3 ];
+    }
+  in
+  let b =
+    {
+      Edge_dataflow.may_use = rs [ 4 ];
+      may_def = rs [ 5 ];
+      must_def = rs [ 3; 5 ];
+    }
+  in
+  let j = Edge_dataflow.join a b in
+  Alcotest.check regset "join may_use" (rs [ 1; 4 ]) j.Edge_dataflow.may_use;
+  Alcotest.check regset "join may_def" (rs [ 2; 5 ]) j.Edge_dataflow.may_def;
+  Alcotest.check regset "join must_def" (rs [ 3 ]) j.Edge_dataflow.must_def;
+  (* Transfer: IN = UBD ∪ (OUT - DEF); DEFs accumulate. *)
+  let out =
+    {
+      Edge_dataflow.may_use = rs [ 1; 2 ];
+      may_def = rs [ 3 ];
+      must_def = rs [ 3 ];
+    }
+  in
+  let inn = Edge_dataflow.apply_block ~def:(rs [ 2; 4 ]) ~ubd:(rs [ 5 ]) out in
+  Alcotest.check regset "in may_use" (rs [ 1; 5 ]) inn.Edge_dataflow.may_use;
+  Alcotest.check regset "in may_def" (rs [ 2; 3; 4 ]) inn.Edge_dataflow.may_def;
+  Alcotest.check regset "in must_def" (rs [ 2; 3; 4 ]) inn.Edge_dataflow.must_def
+
+(* A loop inside a flow-summary edge subgraph: Figure 6 must converge. *)
+let test_edge_dataflow_loop () =
+  let g =
+    routine "g"
+      [
+        (Some "head", use r1);
+        (None, li r2 1);
+        (None, bne r2 "head");
+        (None, ret);
+      ]
+  in
+  let cfg = Spike_cfg.Cfg.build g in
+  let defuse = Spike_cfg.Defuse.compute cfg in
+  let rpo = Spike_cfg.Cfg.reverse_postorder cfg in
+  let rpo_position = Array.make (Spike_cfg.Cfg.block_count cfg) 0 in
+  Array.iteri (fun i b -> rpo_position.(b) <- i) rpo;
+  let blocks = Array.init (Spike_cfg.Cfg.block_count cfg) Fun.id in
+  let exit_block = List.hd (Spike_cfg.Cfg.exit_blocks cfg) in
+  let sol = Edge_dataflow.solve ~cfg ~defuse ~rpo_position ~blocks ~sink:exit_block in
+  let at_entry = Edge_dataflow.in_of sol 0 in
+  check_restricted "loop may_use" ~over:(rs [ r1; r2 ])
+    (rs [ r1 ])
+    at_entry.Edge_dataflow.may_use;
+  check_restricted "loop must_def" ~over:(rs [ r1; r2 ])
+    (rs [ r2 ])
+    at_entry.Edge_dataflow.must_def
+
+(* --- Callee_saved --------------------------------------------------------- *)
+
+let frame_push n = (None, Insn.Lda { dst = Reg.sp; base = Reg.sp; offset = -n })
+let frame_pop n = (None, Insn.Lda { dst = Reg.sp; base = Reg.sp; offset = n })
+let save r off = (None, store r ~base:Reg.sp ~offset:off)
+let restore r off = (None, load r ~base:Reg.sp ~offset:off)
+
+let detected rows =
+  let r = routine "f" rows in
+  Callee_saved.saved_and_restored r (Spike_cfg.Cfg.build r)
+
+let test_callee_saved_positive () =
+  let got =
+    detected
+      [
+        frame_push 16;
+        save Reg.s0 0;
+        save Reg.s1 8;
+        (None, li Reg.s0 1);
+        (None, li Reg.s1 2);
+        restore Reg.s0 0;
+        restore Reg.s1 8;
+        frame_pop 16;
+        (None, ret);
+      ]
+  in
+  Alcotest.check regset "s0 and s1 detected" (rs [ Reg.s0; Reg.s1 ]) got;
+  (* Without any frame adjustment at all. *)
+  let got =
+    detected [ save Reg.s3 0; (None, li Reg.s3 9); restore Reg.s3 0; (None, ret) ]
+  in
+  Alcotest.check regset "frameless idiom" (rs [ Reg.s3 ]) got
+
+let test_callee_saved_negative () =
+  let check_empty msg rows = Alcotest.check regset msg Regset.empty (detected rows) in
+  check_empty "missing restore"
+    [ frame_push 16; save Reg.s0 0; (None, li Reg.s0 1); frame_pop 16; (None, ret) ];
+  check_empty "restore from wrong slot"
+    [ frame_push 16; save Reg.s0 0; restore Reg.s0 8; frame_pop 16; (None, ret) ];
+  check_empty "redefined after restore"
+    [
+      frame_push 16; save Reg.s0 0; restore Reg.s0 0; (None, li Reg.s0 3); frame_pop 16;
+      (None, ret);
+    ];
+  check_empty "slot stored twice"
+    [
+      frame_push 16;
+      save Reg.s0 0;
+      (None, store r1 ~base:Reg.sp ~offset:0);
+      restore Reg.s0 0;
+      frame_pop 16;
+      (None, ret);
+    ];
+  check_empty "saved after definition"
+    [ frame_push 16; (None, li Reg.s0 1); save Reg.s0 0; restore Reg.s0 0; frame_pop 16;
+      (None, ret) ];
+  check_empty "unbalanced frame"
+    [ frame_push 16; save Reg.s0 0; restore Reg.s0 0; frame_pop 8; (None, ret) ];
+  check_empty "caller-saved register"
+    [ frame_push 16; save Reg.t0 0; restore Reg.t0 0; frame_pop 16; (None, ret) ];
+  (* An unknown jump can leave without restoring. *)
+  check_empty "unknown jump"
+    [
+      frame_push 16;
+      save Reg.s0 0;
+      (None, beq r1 "out");
+      restore Reg.s0 0;
+      frame_pop 16;
+      (None, ret);
+      (Some "out", Insn.Jump_unknown { target = r2 });
+    ]
+
+let test_callee_saved_multi_exit () =
+  let got =
+    detected
+      [
+        frame_push 16;
+        save Reg.s0 0;
+        (None, li Reg.s0 1);
+        (None, beq r1 "second");
+        restore Reg.s0 0;
+        frame_pop 16;
+        (None, ret);
+        (Some "second", load Reg.s0 ~base:Reg.sp ~offset:0);
+        frame_pop 16;
+        (None, ret);
+      ]
+  in
+  Alcotest.check regset "restored at both exits" (rs [ Reg.s0 ]) got;
+  (* One exit missing the restore disqualifies. *)
+  let got =
+    detected
+      [
+        frame_push 16;
+        save Reg.s0 0;
+        (None, beq r1 "second");
+        restore Reg.s0 0;
+        frame_pop 16;
+        (None, ret);
+        (Some "second", Insn.Lda { dst = Reg.sp; base = Reg.sp; offset = 16 });
+        (None, ret);
+      ]
+  in
+  Alcotest.check regset "one bad exit disqualifies" Regset.empty got
+
+let test_callee_saved_sites () =
+  let r =
+    routine "f"
+      [
+        frame_push 16;
+        save Reg.s2 8;
+        (None, li Reg.s2 1);
+        restore Reg.s2 8;
+        frame_pop 16;
+        (None, ret);
+      ]
+  in
+  match Callee_saved.sites r (Spike_cfg.Cfg.build r) with
+  | [ site ] ->
+      Alcotest.(check int) "reg" Reg.s2 site.Callee_saved.reg;
+      Alcotest.(check int) "save at 1" 1 site.Callee_saved.save_index;
+      Alcotest.(check (list int)) "restore at 3" [ 3 ] site.Callee_saved.restore_indexes
+  | sites -> Alcotest.failf "expected one site, got %d" (List.length sites)
+
+(* --- §3.4 effect on summaries --------------------------------------------- *)
+
+let test_filter_in_summaries () =
+  let callee =
+    routine "callee"
+      [
+        frame_push 16;
+        save Reg.s0 0;
+        (None, li Reg.s0 7);
+        (None, store Reg.s0 ~base:Reg.sp ~offset:8);
+        restore Reg.s0 0;
+        frame_pop 16;
+        (None, ret);
+      ]
+  in
+  let main = routine "main" [ (None, call "callee"); (None, ret) ] in
+  let analysis = Analysis.run (program ~main:"main" [ main; callee ]) in
+  let c = (Option.get (Analysis.summary_of analysis "callee")).Summary.call_class in
+  Alcotest.(check bool) "s0 not call-killed" false (Regset.mem Reg.s0 c.Summary.killed);
+  Alcotest.(check bool) "s0 not call-used" false (Regset.mem Reg.s0 c.Summary.used);
+  Alcotest.(check bool) "s0 not call-defined" false
+    (Regset.mem Reg.s0 c.Summary.defined)
+
+(* --- Call-site summary merging -------------------------------------------- *)
+
+let test_site_class_merging () =
+  (* An indirect call that may reach f (defines t0, uses a0) or g (defines
+     t1): used = union, defined = intersection, killed = union. *)
+  let f = routine "f" [ (None, use Reg.a0); (None, li Reg.t0 1); (None, li Reg.v0 1); (None, ret) ] in
+  let g = routine "g" [ (None, li Reg.t1 2); (None, li Reg.v0 2); (None, ret) ] in
+  let main =
+    routine "main"
+      [
+        (None, li Reg.pv 0);
+        (None, call_indirect ~targets:[ "f"; "g" ] Reg.pv);
+        (None, ret);
+      ]
+  in
+  let analysis = Analysis.run (program ~main:"main" [ main; f; g ]) in
+  let info = analysis.Analysis.psg.Psg.calls.(0) in
+  let site = Analysis.site_class analysis info in
+  Alcotest.(check bool) "a0 used (from f)" true (Regset.mem Reg.a0 site.Summary.used);
+  Alcotest.(check bool) "v0 defined (both)" true (Regset.mem Reg.v0 site.Summary.defined);
+  Alcotest.(check bool) "t0 not must-defined (only f)" false
+    (Regset.mem Reg.t0 site.Summary.defined);
+  Alcotest.(check bool) "t0 killed" true (Regset.mem Reg.t0 site.Summary.killed);
+  Alcotest.(check bool) "t1 killed" true (Regset.mem Reg.t1 site.Summary.killed)
+
+let test_unknown_site_class () =
+  let main =
+    routine "main" [ (None, li Reg.pv 0); (None, call_indirect Reg.pv); (None, ret) ]
+  in
+  let analysis = Analysis.run (program ~main:"main" [ main ]) in
+  let info = analysis.Analysis.psg.Psg.calls.(0) in
+  let site = Analysis.site_class analysis info in
+  Alcotest.check regset "assumed used" Calling_standard.unknown_call_used
+    site.Summary.used;
+  Alcotest.check regset "assumed defined" Calling_standard.unknown_call_defined
+    site.Summary.defined;
+  Alcotest.check regset "assumed killed" Calling_standard.unknown_call_killed
+    site.Summary.killed
+
+(* --- Recursion ------------------------------------------------------------ *)
+
+let test_recursion_converges () =
+  (* Mutually recursive even/odd with a conditional escape. *)
+  let even =
+    routine "even"
+      [
+        (None, beq r1 "base");
+        (None, call "odd");
+        (None, ret);
+        (Some "base", li r2 1);
+        (None, ret);
+      ]
+  in
+  let odd =
+    routine "odd"
+      [
+        (None, beq r1 "base");
+        (None, call "even");
+        (None, ret);
+        (Some "base", li r3 1);
+        (None, ret);
+      ]
+  in
+  let main = routine "main" [ (None, call "even"); (None, ret) ] in
+  let analysis = Analysis.run (program ~main:"main" [ main; even; odd ]) in
+  let even_class = (Option.get (Analysis.summary_of analysis "even")).Summary.call_class in
+  check_restricted "even may-kill r2 r3" ~over:(rs [ r1; r2; r3 ])
+    (rs [ r2; r3 ])
+    even_class.Summary.killed;
+  check_restricted "even uses r1" ~over:(rs [ r1; r2; r3 ])
+    (rs [ r1 ])
+    even_class.Summary.used;
+  (* Nothing is must-defined: each routine can return from its base case
+     defining only one of r2/r3. *)
+  check_restricted "even must-def" ~over:(rs [ r2; r3 ]) Regset.empty
+    even_class.Summary.defined;
+  (* Agreement with the reference holds on recursion too. *)
+  let reference = Spike_reference.Reference.run analysis.Analysis.program in
+  Array.iteri
+    (fun r (c : Summary.call_class) ->
+      let d = reference.Spike_reference.Reference.call_classes.(r) in
+      Alcotest.check regset "recursive used" d.Summary.used c.Summary.used;
+      Alcotest.check regset "recursive defined" d.Summary.defined c.Summary.defined;
+      Alcotest.check regset "recursive killed" d.Summary.killed c.Summary.killed)
+    analysis.Analysis.call_classes
+
+(* --- Analysis determinism / misc ------------------------------------------ *)
+
+let test_analysis_deterministic () =
+  let p = figure2_program () in
+  let a = Analysis.run p and b = Analysis.run p in
+  Array.iteri
+    (fun r (c : Summary.call_class) ->
+      let d = b.Analysis.call_classes.(r) in
+      Alcotest.check regset "used" d.Summary.used c.Summary.used;
+      Alcotest.check regset "defined" d.Summary.defined c.Summary.defined;
+      Alcotest.check regset "killed" d.Summary.killed c.Summary.killed)
+    a.Analysis.call_classes;
+  Alcotest.(check int) "same phase1 iterations" b.Analysis.phase1_iterations
+    a.Analysis.phase1_iterations
+
+let test_psg_stats () =
+  let analysis = Analysis.run (figure2_program ()) in
+  let stats = Psg_stats.of_psg analysis.Analysis.psg in
+  Alcotest.(check int) "entries = routines" 4 stats.Psg_stats.entry_nodes;
+  Alcotest.(check int) "calls" 4 stats.Psg_stats.call_nodes;
+  Alcotest.(check int) "returns" 4 stats.Psg_stats.return_nodes;
+  Alcotest.(check int) "call-return edges" 4 stats.Psg_stats.call_return_edges;
+  Alcotest.(check int) "total nodes" (Psg.node_count analysis.Analysis.psg)
+    stats.Psg_stats.nodes;
+  Alcotest.(check int) "edge split"
+    (stats.Psg_stats.flow_edges + stats.Psg_stats.call_return_edges)
+    stats.Psg_stats.edges
+
+let test_multi_entry_summaries () =
+  let two =
+    routine ~entries:[ "two$a"; "two$b" ] "two"
+      [ (Some "two$a", li r1 1); (Some "two$b", li r2 2); (None, ret) ]
+  in
+  let main = routine "main" [ (None, call "two"); (None, ret) ] in
+  let analysis = Analysis.run (program ~main:"main" [ main; two ]) in
+  let s = Option.get (Analysis.summary_of analysis "two") in
+  Alcotest.(check int) "two live-at-entry sets" 2 (List.length s.Summary.live_at_entry);
+  (* The primary entry sees both defs, the secondary only the second. *)
+  let c = s.Summary.call_class in
+  check_restricted "primary must-def" ~over:(rs [ r1; r2 ]) (rs [ r1; r2 ])
+    c.Summary.defined;
+  let secondary = List.nth analysis.Analysis.psg.Psg.entry_nodes.(1) 1 in
+  let node = analysis.Analysis.psg.Psg.nodes.(secondary) in
+  check_restricted "secondary must-def" ~over:(rs [ r1; r2 ]) (rs [ r2 ]) node.Psg.must_def
+
+let () =
+  Alcotest.run "core-units"
+    [
+      ( "edge-dataflow",
+        [
+          Alcotest.test_case "algebra" `Quick test_edge_dataflow_algebra;
+          Alcotest.test_case "loop convergence" `Quick test_edge_dataflow_loop;
+        ] );
+      ( "callee-saved",
+        [
+          Alcotest.test_case "positive" `Quick test_callee_saved_positive;
+          Alcotest.test_case "negative" `Quick test_callee_saved_negative;
+          Alcotest.test_case "multi-exit" `Quick test_callee_saved_multi_exit;
+          Alcotest.test_case "sites" `Quick test_callee_saved_sites;
+          Alcotest.test_case "filter in summaries" `Quick test_filter_in_summaries;
+        ] );
+      ( "call-sites",
+        [
+          Alcotest.test_case "target merging" `Quick test_site_class_merging;
+          Alcotest.test_case "unknown assumption" `Quick test_unknown_site_class;
+        ] );
+      ( "fixpoints",
+        [
+          Alcotest.test_case "recursion" `Quick test_recursion_converges;
+          Alcotest.test_case "determinism" `Quick test_analysis_deterministic;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "psg stats" `Quick test_psg_stats;
+          Alcotest.test_case "multiple entries" `Quick test_multi_entry_summaries;
+        ] );
+    ]

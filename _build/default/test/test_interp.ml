@@ -1,0 +1,279 @@
+(* The interpreter: arithmetic, memory and control semantics, the trap
+   surface (failure injection), and profiles. *)
+
+open Spike_isa
+open Spike_ir
+open Spike_interp
+open Test_helpers
+
+let exec ?fuel rows_by_routine ~main:main_name =
+  let routines = List.map (fun (name, rows) -> routine name rows) rows_by_routine in
+  Machine.execute ?fuel (program ~main:main_name routines)
+
+let expect_halt msg expected outcome =
+  match outcome with
+  | Machine.Halted v -> Alcotest.(check int) msg expected v
+  | Machine.Trapped _ -> Alcotest.failf "%s: trapped" msg
+
+let imm_binop op a b dst =
+  [
+    (None, li Reg.t0 a);
+    (None, li Reg.t1 b);
+    (None, Insn.Binop { op; dst; src1 = Reg.t0; src2 = Insn.Reg Reg.t1 });
+  ]
+
+let test_arithmetic () =
+  let run op a b =
+    exec ~main:"m"
+      [ ("m", imm_binop op a b Reg.v0 @ [ (None, ret) ]) ]
+  in
+  expect_halt "add" 7 (run Insn.Add 3 4);
+  expect_halt "sub" (-1) (run Insn.Sub 3 4);
+  expect_halt "mul" 12 (run Insn.Mul 3 4);
+  expect_halt "and" 2 (run Insn.And 6 3);
+  expect_halt "or" 7 (run Insn.Or 6 3);
+  expect_halt "xor" 5 (run Insn.Xor 6 3);
+  expect_halt "sll" 24 (run Insn.Sll 6 2);
+  expect_halt "srl" 1 (run Insn.Srl 6 2);
+  expect_halt "cmpeq true" 1 (run Insn.Cmpeq 5 5);
+  expect_halt "cmpeq false" 0 (run Insn.Cmpeq 5 6);
+  expect_halt "cmplt" 1 (run Insn.Cmplt 5 6);
+  expect_halt "cmple" 1 (run Insn.Cmple 6 6)
+
+let test_zero_register () =
+  expect_halt "writes to zero are discarded" 0
+    (exec ~main:"m"
+       [
+         ( "m",
+           [
+             (None, li Reg.zero 42);
+             (None, Insn.Mov { dst = Reg.v0; src = Reg.zero });
+             (None, ret);
+           ] );
+       ])
+
+let test_memory () =
+  expect_halt "store/load" 9
+    (exec ~main:"m"
+       [
+         ( "m",
+           [
+             (None, li Reg.t0 9);
+             (None, store Reg.t0 ~base:Reg.sp ~offset:16);
+             (None, load Reg.v0 ~base:Reg.sp ~offset:16);
+             (None, ret);
+           ] );
+       ]);
+  expect_halt "unmapped memory reads 0" 0
+    (exec ~main:"m"
+       [ ("m", [ (None, load Reg.v0 ~base:Reg.zero ~offset:123456); (None, ret) ]) ])
+
+let test_branches () =
+  expect_halt "taken beq" 1
+    (exec ~main:"m"
+       [
+         ( "m",
+           [
+             (None, li Reg.t0 0);
+             (None, beq Reg.t0 "yes");
+             (None, li Reg.v0 0);
+             (None, ret);
+             (Some "yes", li Reg.v0 1);
+             (None, ret);
+           ] );
+       ]);
+  expect_halt "fallthrough bne" 0
+    (exec ~main:"m"
+       [
+         ( "m",
+           [
+             (None, li Reg.t0 0);
+             (None, bne Reg.t0 "yes");
+             (None, li Reg.v0 0);
+             (None, ret);
+             (Some "yes", li Reg.v0 1);
+             (None, ret);
+           ] );
+       ])
+
+let test_switch_modulo () =
+  (* Dispatch index 5 on a 3-entry table lands on 5 mod 3 = 2. *)
+  expect_halt "switch wraps" 2
+    (exec ~main:"m"
+       [
+         ( "m",
+           [
+             (None, li Reg.t0 5);
+             (None, switch Reg.t0 [ "a0"; "a1"; "a2" ]);
+             (Some "a0", li Reg.v0 0);
+             (None, ret);
+             (Some "a1", li Reg.v0 1);
+             (None, ret);
+             (Some "a2", li Reg.v0 2);
+             (None, ret);
+           ] );
+       ])
+
+let test_calls () =
+  expect_halt "call and return" 8
+    (exec ~main:"m"
+       [
+         ("m", [ (None, call "f"); (None, ret) ]);
+         ("f", [ (None, li Reg.v0 8); (None, ret) ]);
+       ]);
+  (* Indirect call through the fixed addressing convention. *)
+  let p =
+    program ~main:"m"
+      [
+        routine "m"
+          [
+            (None, li Reg.pv 0 (* patched below *));
+            (None, call_indirect Reg.pv);
+            (None, ret);
+          ];
+        routine "f" [ (None, li Reg.v0 3); (None, ret) ];
+      ]
+  in
+  let address =
+    match Machine.address_of_name p "f" with Some a -> a | None -> assert false
+  in
+  let patched =
+    Program.map_routines
+      (fun (r : Routine.t) ->
+        if String.equal r.Routine.name "m" then
+          { r with Routine.insns = (let a = Array.copy r.Routine.insns in a.(0) <- li Reg.pv address; a) }
+        else r)
+      p
+  in
+  expect_halt "indirect call" 3 (Machine.execute patched)
+
+let expect_trap msg pred outcome =
+  match outcome with
+  | Machine.Trapped t when pred t -> ()
+  | Machine.Trapped _ -> Alcotest.failf "%s: wrong trap" msg
+  | Machine.Halted _ -> Alcotest.failf "%s: expected a trap" msg
+
+let test_traps () =
+  expect_trap "clobbered ra"
+    (function Machine.Bad_return_address _ -> true | _ -> false)
+    (exec ~main:"m"
+       [
+         ("m", [ (None, call "f"); (None, ret) ]);
+         ("f", [ (None, li Reg.ra 0); (None, ret) ]);
+       ]);
+  expect_trap "unknown routine"
+    (function Machine.Unknown_routine "ghost" -> true | _ -> false)
+    (exec ~main:"m" [ ("m", [ (None, call "ghost"); (None, ret) ]) ]);
+  expect_trap "bad indirect target"
+    (function Machine.Bad_call_target _ -> true | _ -> false)
+    (exec ~main:"m"
+       [ ("m", [ (None, li Reg.pv 12345); (None, call_indirect Reg.pv); (None, ret) ]) ]);
+  expect_trap "unknown jump"
+    (function Machine.Unknown_jump -> true | _ -> false)
+    (exec ~main:"m"
+       [ ("m", [ (None, Insn.Jump_unknown { target = Reg.t0 }); (None, ret) ]) ]);
+  expect_trap "out of fuel"
+    (function Machine.Out_of_fuel -> true | _ -> false)
+    (exec ~fuel:100 ~main:"m"
+       [ ("m", [ (Some "spin", br "spin"); (None, ret) ]) ]);
+  (* A declared-target indirect call whose runtime target lies: trap. *)
+  let p =
+    program ~main:"m"
+      [
+        routine "m"
+          [ (None, li Reg.pv 0); (None, call_indirect ~targets:[ "g" ] Reg.pv); (None, ret) ];
+        routine "f" [ (None, li Reg.v0 3); (None, ret) ];
+        routine "g" [ (None, li Reg.v0 4); (None, ret) ];
+      ]
+  in
+  let address = Option.get (Machine.address_of_name p "f") in
+  let patched =
+    Program.map_routines
+      (fun (r : Routine.t) ->
+        if String.equal r.Routine.name "m" then
+          { r with Routine.insns = (let a = Array.copy r.Routine.insns in a.(0) <- li Reg.pv address; a) }
+        else r)
+      p
+  in
+  expect_trap "undeclared target"
+    (function Machine.Undeclared_call_target "f" -> true | _ -> false)
+    (Machine.execute patched)
+
+let test_save_restore_semantics () =
+  (* The callee clobbers s0 but saves/restores it: caller sees it intact. *)
+  expect_halt "callee-saved survives" 5
+    (exec ~main:"m"
+       [
+         ( "m",
+           [
+             (None, li Reg.s0 5);
+             (None, call "f");
+             (None, Insn.Mov { dst = Reg.v0; src = Reg.s0 });
+             (None, ret);
+           ] );
+         ( "f",
+           [
+             (None, Insn.Lda { dst = Reg.sp; base = Reg.sp; offset = -16 });
+             (None, store Reg.s0 ~base:Reg.sp ~offset:0);
+             (None, li Reg.s0 99);
+             (None, load Reg.s0 ~base:Reg.sp ~offset:0);
+             (None, Insn.Lda { dst = Reg.sp; base = Reg.sp; offset = 16 });
+             (None, ret);
+           ] );
+       ])
+
+let test_profile () =
+  let p =
+    program ~main:"m"
+      [
+        routine "m"
+          [
+            (None, li Reg.t0 3);
+            (Some "loop", store Reg.t0 ~base:Reg.sp ~offset:0);
+            (None, Insn.Binop { op = Insn.Sub; dst = Reg.t0; src1 = Reg.t0; src2 = Insn.Imm 1 });
+            (None, Insn.Bcond { cond = Insn.Gt; src = Reg.t0; target = "loop" });
+            (None, ret);
+          ];
+      ]
+  in
+  let outcome, profile = Profile.collect p in
+  (match outcome with
+  | Machine.Halted _ -> ()
+  | Machine.Trapped _ -> Alcotest.fail "should halt");
+  Alcotest.(check int) "li once" 1 (Profile.count profile ~routine:0 ~index:0);
+  Alcotest.(check int) "loop body thrice" 3 (Profile.count profile ~routine:0 ~index:1);
+  Alcotest.(check int) "total" (Profile.total profile)
+    (Profile.routine_total profile ~routine:0);
+  let uniform = Profile.uniform p in
+  Alcotest.(check int) "uniform" 1 (Profile.count uniform ~routine:0 ~index:3)
+
+let test_steps_and_fuel_accounting () =
+  let p =
+    program ~main:"m" [ routine "m" [ (None, li Reg.v0 0); (None, ret) ] ]
+  in
+  let state = Machine.create p in
+  (match Machine.run state with
+  | Machine.Halted 0 -> ()
+  | Machine.Halted _ | Machine.Trapped _ -> Alcotest.fail "unexpected outcome");
+  Alcotest.(check int) "two steps" 2 (Machine.steps state)
+
+let () =
+  Alcotest.run "interp"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "zero register" `Quick test_zero_register;
+          Alcotest.test_case "memory" `Quick test_memory;
+          Alcotest.test_case "branches" `Quick test_branches;
+          Alcotest.test_case "switch modulo" `Quick test_switch_modulo;
+          Alcotest.test_case "calls" `Quick test_calls;
+          Alcotest.test_case "save/restore" `Quick test_save_restore_semantics;
+        ] );
+      ("traps", [ Alcotest.test_case "failure injection" `Quick test_traps ]);
+      ( "profile",
+        [
+          Alcotest.test_case "counts" `Quick test_profile;
+          Alcotest.test_case "steps" `Quick test_steps_and_fuel_accounting;
+        ] );
+    ]

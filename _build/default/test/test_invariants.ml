@@ -1,0 +1,180 @@
+(* Structural invariants of the PSG and semantic invariants of the
+   summaries, checked over random generated programs. *)
+
+open Spike_support
+open Spike_isa
+open Spike_ir
+open Spike_core
+
+let programs () =
+  List.map
+    (fun seed ->
+      Spike_synth.Generator.generate
+        { Spike_synth.Params.default with Spike_synth.Params.seed = 300 + seed })
+    (List.init 8 Fun.id)
+
+let for_all_programs f = List.iter (fun p -> f p (Analysis.run p)) (programs ())
+
+(* --- PSG structure --------------------------------------------------------- *)
+
+let test_psg_node_counts () =
+  for_all_programs (fun p analysis ->
+      let psg = analysis.Analysis.psg in
+      let stats = Psg_stats.of_psg psg in
+      let entries = ref 0 and exits = ref 0 and calls = ref 0 and switches = ref 0 in
+      Program.iter
+        (fun r (routine : Routine.t) ->
+          entries := !entries + List.length routine.Routine.entries;
+          exits := !exits + Routine.exit_count routine;
+          Array.iter
+            (fun insn ->
+              if Insn.is_call insn then incr calls;
+              match insn with Insn.Switch _ -> incr switches | _ -> ())
+            routine.Routine.insns;
+          ignore r)
+        p;
+      Alcotest.(check int) "entry nodes" !entries stats.Psg_stats.entry_nodes;
+      Alcotest.(check int) "exit nodes" !exits stats.Psg_stats.exit_nodes;
+      Alcotest.(check int) "call nodes" !calls stats.Psg_stats.call_nodes;
+      Alcotest.(check int) "return nodes" !calls stats.Psg_stats.return_nodes;
+      Alcotest.(check int) "call-return edges" !calls stats.Psg_stats.call_return_edges;
+      Alcotest.(check int) "branch nodes" !switches stats.Psg_stats.branch_nodes)
+
+let test_psg_edge_endpoints () =
+  for_all_programs (fun _ analysis ->
+      let psg = analysis.Analysis.psg in
+      Array.iter
+        (fun (e : Psg.edge) ->
+          let src = psg.Psg.nodes.(e.Psg.src) and dst = psg.Psg.nodes.(e.Psg.dst) in
+          (* Every edge stays within one routine. *)
+          Alcotest.(check int) "same routine"
+            (Psg.node_routine src.Psg.kind)
+            (Psg.node_routine dst.Psg.kind);
+          match e.Psg.ekind with
+          | Psg.Call_return -> (
+              match (src.Psg.kind, dst.Psg.kind) with
+              | Psg.Call _, Psg.Return _ -> ()
+              | _, _ -> Alcotest.fail "call-return edge endpoints")
+          | Psg.Flow -> (
+              (* Sources are entry/return/branch; sinks are
+                 call/exit/unknown-exit/branch. *)
+              (match src.Psg.kind with
+              | Psg.Entry _ | Psg.Return _ | Psg.Branch _ -> ()
+              | Psg.Exit _ | Psg.Call _ | Psg.Unknown_exit _ ->
+                  Alcotest.fail "flow edge from a sink");
+              match dst.Psg.kind with
+              | Psg.Call _ | Psg.Exit _ | Psg.Unknown_exit _ | Psg.Branch _ -> ()
+              | Psg.Entry _ | Psg.Return _ -> Alcotest.fail "flow edge into a source"))
+        psg.Psg.edges)
+
+let test_psg_adjacency_consistency () =
+  for_all_programs (fun _ analysis ->
+      let psg = analysis.Analysis.psg in
+      Array.iteri
+        (fun node out ->
+          Array.iter
+            (fun eid ->
+              Alcotest.(check int) "out edge source" node psg.Psg.edges.(eid).Psg.src)
+            out)
+        psg.Psg.out_edges;
+      Array.iteri
+        (fun node inn ->
+          Array.iter
+            (fun eid ->
+              Alcotest.(check int) "in edge destination" node psg.Psg.edges.(eid).Psg.dst)
+            inn)
+        psg.Psg.in_edges;
+      (* Every edge appears in both adjacency maps. *)
+      let total_out = Array.fold_left (fun n a -> n + Array.length a) 0 psg.Psg.out_edges in
+      let total_in = Array.fold_left (fun n a -> n + Array.length a) 0 psg.Psg.in_edges in
+      Alcotest.(check int) "out count" (Psg.edge_count psg) total_out;
+      Alcotest.(check int) "in count" (Psg.edge_count psg) total_in)
+
+let test_callers_of_consistency () =
+  for_all_programs (fun _ analysis ->
+      let psg = analysis.Analysis.psg in
+      Array.iteri
+        (fun call_index (info : Psg.call_info) ->
+          match info.Psg.targets with
+          | None -> ()
+          | Some targets ->
+              List.iter
+                (fun target ->
+                  match target with
+                  | Psg.Target_external _ -> ()
+                  | Psg.Target_routine r ->
+                      if not (List.mem call_index psg.Psg.callers_of.(r)) then
+                        Alcotest.failf "call %d missing from callers_of %d" call_index r)
+                targets)
+        psg.Psg.calls)
+
+(* --- Summary semantics ------------------------------------------------------ *)
+
+let test_defined_subset_killed () =
+  (* MUST-DEF ⊆ MAY-DEF, always. *)
+  for_all_programs (fun _ analysis ->
+      Array.iter
+        (fun (c : Summary.call_class) ->
+          if not (Regset.subset c.Summary.defined c.Summary.killed) then
+            Alcotest.failf "call-defined ⊄ call-killed: %s vs %s"
+              (Regset.to_string ~name:Reg.name c.Summary.defined)
+              (Regset.to_string ~name:Reg.name c.Summary.killed))
+        analysis.Analysis.call_classes)
+
+let test_no_zero_registers_in_summaries () =
+  let zeros = Calling_standard.zero_regs in
+  for_all_programs (fun _ analysis ->
+      Array.iter
+        (fun (c : Summary.call_class) ->
+          Alcotest.(check bool) "used" true (Regset.disjoint c.Summary.used zeros);
+          Alcotest.(check bool) "defined" true (Regset.disjoint c.Summary.defined zeros);
+          Alcotest.(check bool) "killed" true (Regset.disjoint c.Summary.killed zeros))
+        analysis.Analysis.call_classes;
+      Array.iter
+        (fun (s : Summary.t) ->
+          List.iter
+            (fun (_, l) -> Alcotest.(check bool) "live-entry" true (Regset.disjoint l zeros))
+            s.Summary.live_at_entry)
+        analysis.Analysis.summaries)
+
+let test_filter_disjoint_from_class () =
+  (* A register filtered by §3.4 never shows up in the routine's exported
+     class. *)
+  for_all_programs (fun _ analysis ->
+      Array.iteri
+        (fun r (c : Summary.call_class) ->
+          let mask = analysis.Analysis.psg.Psg.entry_filter.(r) in
+          Alcotest.(check bool) "used clean" true (Regset.disjoint c.Summary.used mask);
+          Alcotest.(check bool) "defined clean" true
+            (Regset.disjoint c.Summary.defined mask);
+          Alcotest.(check bool) "killed clean" true
+            (Regset.disjoint c.Summary.killed mask))
+        analysis.Analysis.call_classes)
+
+let test_flow_edge_labels_exclude_zeros () =
+  let zeros = Calling_standard.zero_regs in
+  for_all_programs (fun _ analysis ->
+      Array.iter
+        (fun (e : Psg.edge) ->
+          Alcotest.(check bool) "edge may_use" true (Regset.disjoint e.Psg.e_may_use zeros);
+          Alcotest.(check bool) "edge may_def" true (Regset.disjoint e.Psg.e_may_def zeros))
+        analysis.Analysis.psg.Psg.edges)
+
+let () =
+  Alcotest.run "invariants"
+    [
+      ( "psg",
+        [
+          Alcotest.test_case "node counts" `Quick test_psg_node_counts;
+          Alcotest.test_case "edge endpoints" `Quick test_psg_edge_endpoints;
+          Alcotest.test_case "adjacency consistency" `Quick test_psg_adjacency_consistency;
+          Alcotest.test_case "callers_of" `Quick test_callers_of_consistency;
+        ] );
+      ( "summaries",
+        [
+          Alcotest.test_case "defined ⊆ killed" `Quick test_defined_subset_killed;
+          Alcotest.test_case "no zero registers" `Quick test_no_zero_registers_in_summaries;
+          Alcotest.test_case "filter disjoint" `Quick test_filter_disjoint_from_class;
+          Alcotest.test_case "edge labels clean" `Quick test_flow_edge_labels_exclude_zeros;
+        ] );
+    ]

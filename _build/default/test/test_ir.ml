@@ -1,0 +1,153 @@
+(* The IR layer: routines, programs, the builder, and failure injection
+   through the validator. *)
+
+open Spike_isa
+open Spike_ir
+
+let li r imm = Insn.Li { dst = r; imm }
+let call name = Insn.Call { callee = Insn.Direct name }
+
+(* --- Builder ----------------------------------------------------------- *)
+
+let test_builder () =
+  let b = Builder.create "f" in
+  Alcotest.(check int) "empty position" 0 (Builder.position b);
+  Builder.emit b (li Reg.t0 1);
+  Builder.label b "mid";
+  Builder.emit b Insn.Ret;
+  let r = Builder.finish b in
+  Alcotest.(check int) "two instructions" 2 (Routine.instruction_count r);
+  Alcotest.(check (list string)) "default entry" [ "f$entry" ] r.Routine.entries;
+  Alcotest.(check (option int)) "mid label" (Some 1) (Routine.label_index r "mid");
+  Alcotest.(check (option int)) "entry label" (Some 0) (Routine.label_index r "f$entry");
+  Alcotest.(check string) "primary entry" "f$entry" (Routine.primary_entry r)
+
+let test_builder_fresh_labels () =
+  let b = Builder.create "f" in
+  let l1 = Builder.fresh_label b "x" in
+  let l2 = Builder.fresh_label b "x" in
+  if String.equal l1 l2 then Alcotest.fail "fresh labels must differ";
+  Builder.label b l1;
+  Alcotest.check_raises "duplicate label"
+    (Invalid_argument "Builder.label: x0 already defined in f") (fun () ->
+      Builder.label b l1)
+
+let test_builder_declared_entries () =
+  let b = Builder.create "f" in
+  Builder.declare_entry b "first";
+  Builder.label b "first";
+  Builder.emit b (li Reg.t0 1);
+  Builder.declare_entry b "second";
+  Builder.label b "second";
+  Builder.emit b Insn.Ret;
+  let r = Builder.finish b in
+  Alcotest.(check (list string)) "entry order" [ "first"; "second" ] r.Routine.entries;
+  Alcotest.(check int) "exit count" 1 (Routine.exit_count r)
+
+(* --- Program ------------------------------------------------------------ *)
+
+let mk name insns = Routine.make ~name ~entries:[ name ^ "$e" ] ~labels:[ (name ^ "$e", 0) ] (Array.of_list insns)
+
+let test_program () =
+  let f = mk "f" [ li Reg.t0 1; Insn.Ret ] in
+  let g = mk "g" [ call "f"; Insn.Ret ] in
+  let p = Program.make ~main:"g" [ g; f ] in
+  Alcotest.(check int) "count" 2 (Program.routine_count p);
+  Alcotest.(check int) "instructions" 4 (Program.instruction_count p);
+  Alcotest.(check (option int)) "find_index" (Some 1) (Program.find_index p "f");
+  Alcotest.(check bool) "find" true (Option.is_some (Program.find p "f"));
+  Alcotest.(check (list string)) "callees_of g" [ "f" ] (Program.callees_of p g);
+  Alcotest.(check (list string)) "callees_of f" [] (Program.callees_of p f);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Program.make: duplicate routine f") (fun () ->
+      ignore (Program.make ~main:"f" [ f; f ]));
+  Alcotest.check_raises "missing main"
+    (Invalid_argument "Program.make: main routine nope not defined") (fun () ->
+      ignore (Program.make ~main:"nope" [ f ]))
+
+let test_callee_targets () =
+  let f = mk "f" [ li Reg.t0 1; Insn.Ret ] in
+  let g = mk "g" [ li Reg.t0 2; Insn.Ret ] in
+  let p = Program.make ~main:"f" [ f; g ] in
+  let check msg expected callee =
+    Alcotest.(check (option (list int))) msg expected (Program.callee_summary_targets p callee)
+  in
+  check "direct resolved" (Some [ 0 ]) (Insn.Direct "f");
+  check "direct external" None (Insn.Direct "library_routine");
+  check "indirect unknown" None (Insn.Indirect (Reg.pv, None));
+  check "indirect known" (Some [ 0; 1 ]) (Insn.Indirect (Reg.pv, Some [ "f"; "g" ]));
+  check "indirect partially unresolved" None
+    (Insn.Indirect (Reg.pv, Some [ "f"; "mystery" ]))
+
+(* --- Validation failure injection ---------------------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.equal (String.sub hay i nn) needle || at (i + 1)) in
+  at 0
+
+let expect_problem fragment routine =
+  match Validate.check_routine routine with
+  | [] -> Alcotest.failf "expected a diagnostic mentioning %S" fragment
+  | problems ->
+      if not (List.exists (fun p -> contains p fragment) problems) then
+        Alcotest.failf "no diagnostic mentions %S in: %s" fragment
+          (String.concat " | " problems)
+
+let test_validate () =
+  let ok = mk "ok" [ li Reg.t0 1; Insn.Ret ] in
+  Alcotest.(check (list string)) "well-formed" [] (Validate.check_routine ok);
+  expect_problem "empty"
+    (Routine.make ~name:"e" ~entries:[ "x" ] ~labels:[ ("x", 0) ] [||]);
+  expect_problem "undefined label"
+    (mk "b" [ Insn.Br { target = "nowhere" }; Insn.Ret ]);
+  expect_problem "duplicate label"
+    (Routine.make ~name:"d" ~entries:[ "l" ]
+       ~labels:[ ("l", 0); ("l", 1) ]
+       [| li Reg.t0 1; Insn.Ret |]);
+  expect_problem "fall off the end" (mk "f" [ li Reg.t0 1 ]);
+  expect_problem "empty jump table"
+    (mk "s" [ Insn.Switch { index = Reg.t0; table = [||] }; Insn.Ret ]);
+  expect_problem "entry"
+    (Routine.make ~name:"n" ~entries:[ "ghost" ] ~labels:[ ("x", 0) ]
+       [| li Reg.t0 1; Insn.Ret |]);
+  expect_problem "end-of-routine label"
+    (Routine.make ~name:"eol" ~entries:[ "e" ]
+       ~labels:[ ("e", 0); ("tail", 2) ]
+       [| Insn.Br { target = "tail" }; Insn.Ret |]);
+  (* Program-level aggregation. *)
+  let bad = mk "bad" [ li Reg.t0 1 ] in
+  match Validate.check (Program.make ~main:"bad" [ bad ]) with
+  | Ok () -> Alcotest.fail "expected program-level failure"
+  | Error problems -> Alcotest.(check bool) "has problems" true (problems <> [])
+
+let test_routine_pp_roundtrip_format () =
+  (* Routine.pp is the assembly syntax; it must contain the directives. *)
+  let r = mk "f" [ li Reg.t0 1; Insn.Ret ] in
+  let text = Format.asprintf "%a" Routine.pp r in
+  List.iter
+    (fun fragment ->
+      if not (contains text fragment) then
+        Alcotest.failf "missing %S in rendering:\n%s" fragment text)
+    [ ".routine f"; ".entry f$e"; "li t0, 1"; "ret"; ".end" ]
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "basics" `Quick test_builder;
+          Alcotest.test_case "fresh labels" `Quick test_builder_fresh_labels;
+          Alcotest.test_case "declared entries" `Quick test_builder_declared_entries;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "construction" `Quick test_program;
+          Alcotest.test_case "callee targets" `Quick test_callee_targets;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "failure injection" `Quick test_validate;
+          Alcotest.test_case "rendering" `Quick test_routine_pp_roundtrip_format;
+        ] );
+    ]

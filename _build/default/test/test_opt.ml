@@ -1,0 +1,190 @@
+(* The Figure-1 optimizations: each motivating scenario from the paper's
+   introduction, plus semantics preservation on random whole programs. *)
+
+open Spike_support
+open Spike_isa
+open Spike_ir
+open Spike_core
+open Spike_opt
+open Test_helpers
+
+let optimize p =
+  let program, report = Opt.run (Analysis.run p) in
+  (match Validate.check program with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "optimized program invalid: %s" (String.concat "; " e));
+  (program, report)
+
+let count_insns p name pred =
+  match Program.find p name with
+  | None -> Alcotest.failf "routine %s missing" name
+  | Some (r : Routine.t) ->
+      Array.fold_left (fun n insn -> if pred insn then n + 1 else n) 0 r.Routine.insns
+
+(* Figure 1(a): a value computed for the return is dead because no caller
+   uses it. *)
+let test_fig1a_dead_return_value () =
+  let f =
+    routine "f" [ (None, li Reg.t5 42) (* would-be return value *); (None, ret) ]
+  in
+  let main = routine "main" [ (None, call "f"); (None, li r0 0); (None, ret) ] in
+  let p = program ~main:"main" [ main; f ] in
+  let optimized, report = optimize p in
+  Alcotest.(check int) "dead def deleted" 0
+    (count_insns optimized "f" (fun i -> i = li Reg.t5 42));
+  if report.Opt.dead_instructions_removed < 1 then
+    Alcotest.fail "expected at least one dead instruction removed"
+
+(* Figure 1(b): an argument the callee never reads is dead at the call
+   site. *)
+let test_fig1b_dead_argument () =
+  let callee =
+    routine "callee"
+      [ (None, Insn.Binop { op = Insn.Add; dst = r0; src1 = Reg.a1; src2 = Insn.Imm 1 });
+        (None, ret) ]
+  in
+  let main =
+    routine "main"
+      [
+        (None, li Reg.a0 1);
+        (* dead: callee only reads a1 *)
+        (None, li Reg.a1 2);
+        (None, call "callee");
+        (None, use r0);
+        (None, ret);
+      ]
+  in
+  let p = program ~main:"main" [ main; callee ] in
+  let optimized, _ = optimize p in
+  Alcotest.(check int) "a0 def deleted" 0
+    (count_insns optimized "main" (fun i -> i = li Reg.a0 1));
+  Alcotest.(check int) "a1 def kept" 1
+    (count_insns optimized "main" (fun i -> i = li Reg.a1 2))
+
+(* A non-leaf routine with the standard ra discipline. *)
+let nonleaf name body =
+  routine name
+    ([ (None, Insn.Lda { dst = Reg.sp; base = Reg.sp; offset = -16 });
+       (None, store Reg.ra ~base:Reg.sp ~offset:0) ]
+    @ body
+    @ [ (None, load Reg.ra ~base:Reg.sp ~offset:0);
+        (None, Insn.Lda { dst = Reg.sp; base = Reg.sp; offset = 16 });
+        (None, ret) ])
+
+(* Figure 1(c): a spill around a call the summary proves unnecessary. *)
+let test_fig1c_spill_removal () =
+  let leaf = routine "leaf" [ (None, li Reg.t1 9); (None, ret) ] in
+  let g =
+    nonleaf "g"
+      [
+        (None, li Reg.t0 7);
+        (None, store Reg.t0 ~base:Reg.sp ~offset:8);
+        (* spill *)
+        (None, call "leaf");
+        (None, load Reg.t0 ~base:Reg.sp ~offset:8);
+        (* reload *)
+        (None, store Reg.t0 ~base:Reg.zero ~offset:8192);
+        (* observable use *)
+      ]
+  in
+  let main = routine "main" [ (None, call "g"); (None, ret) ] in
+  let p = program ~main:"main" [ main; g; leaf ] in
+  let analysis = Analysis.run p in
+  let removals = Spill.find analysis in
+  Alcotest.(check int) "one spill pair found" 1 (List.length removals);
+  let optimized, report = optimize p in
+  Alcotest.(check int) "spills removed" 1 report.Opt.spills_removed;
+  Alcotest.(check int) "spill store gone" 1
+    (count_insns optimized "g" (fun i ->
+         match i with Insn.Store { base; _ } -> base = Reg.sp | _ -> false));
+  (* Behaviour unchanged: the observable store writes 7. *)
+  let before = Spike_interp.Machine.execute p in
+  let after = Spike_interp.Machine.execute optimized in
+  Alcotest.(check bool) "same outcome" true (before = after)
+
+(* Figure 1(d): a value parked in a callee-saved register moves to a
+   caller-saved one the call does not kill; save/restore disappears. *)
+let test_fig1d_save_restore () =
+  let leaf = routine "leaf" [ (None, li Reg.t1 9); (None, ret) ] in
+  let h =
+    routine "h"
+      [
+        (None, Insn.Lda { dst = Reg.sp; base = Reg.sp; offset = -24 });
+        (None, store Reg.s0 ~base:Reg.sp ~offset:0);
+        (* save *)
+        (None, store Reg.ra ~base:Reg.sp ~offset:8);
+        (None, li Reg.s0 5);
+        (None, call "leaf");
+        (None, store Reg.s0 ~base:Reg.zero ~offset:8192);
+        (* s0 live across the call *)
+        (None, load Reg.s0 ~base:Reg.sp ~offset:0);
+        (* restore *)
+        (None, load Reg.ra ~base:Reg.sp ~offset:8);
+        (None, Insn.Lda { dst = Reg.sp; base = Reg.sp; offset = 24 });
+        (None, ret);
+      ]
+  in
+  let main = routine "main" [ (None, call "h"); (None, ret) ] in
+  let p = program ~main:"main" [ main; h; leaf ] in
+  let optimized, report = optimize p in
+  if report.Opt.save_restores_rewritten < 1 then
+    Alcotest.fail "expected a save/restore reallocation";
+  Alcotest.(check int) "no s0 occurrences left" 0
+    (count_insns optimized "h" (fun i ->
+         Regset.mem Reg.s0 (Regset.union (Insn.defs i) (Insn.uses i))));
+  let before = Spike_interp.Machine.execute p in
+  let after = Spike_interp.Machine.execute optimized in
+  Alcotest.(check bool) "same outcome" true (before = after)
+
+(* Whole-program semantics preservation on random workloads. *)
+let test_semantics_preserved () =
+  List.iter
+    (fun seed ->
+      let p =
+        Spike_synth.Generator.generate { Spike_synth.Params.default with seed }
+      in
+      let optimized, report = optimize p in
+      if report.Opt.instructions_after > report.Opt.instructions_before then
+        Alcotest.fail "optimization grew the program";
+      match
+        (Spike_interp.Machine.execute ~fuel:3_000_000 p,
+         Spike_interp.Machine.execute ~fuel:3_000_000 optimized)
+      with
+      | Spike_interp.Machine.Halted a, Spike_interp.Machine.Halted b ->
+          Alcotest.(check int) (Printf.sprintf "seed %d exit status" seed) a b
+      | _, _ -> Alcotest.failf "seed %d: execution did not halt" seed)
+    (List.init 12 Fun.id)
+
+(* The optimized program's analysis must still be sound. *)
+let test_optimized_soundness () =
+  List.iter
+    (fun seed ->
+      let p =
+        Spike_synth.Generator.generate { Spike_synth.Params.default with seed }
+      in
+      let optimized, _ = optimize p in
+      let analysis = Analysis.run optimized in
+      let _, violations = Spike_interp.Oracle.check ~fuel:3_000_000 analysis in
+      match violations with
+      | [] -> ()
+      | v :: _ ->
+          Alcotest.failf "seed %d: %s" seed
+            (Format.asprintf "%a" Spike_interp.Oracle.pp_violation v))
+    [ 3; 17; 23 ]
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "figure1",
+        [
+          Alcotest.test_case "1a dead return value" `Quick test_fig1a_dead_return_value;
+          Alcotest.test_case "1b dead argument" `Quick test_fig1b_dead_argument;
+          Alcotest.test_case "1c spill removal" `Quick test_fig1c_spill_removal;
+          Alcotest.test_case "1d save/restore" `Quick test_fig1d_save_restore;
+        ] );
+      ( "preservation",
+        [
+          Alcotest.test_case "semantics preserved" `Quick test_semantics_preserved;
+          Alcotest.test_case "optimized still sound" `Quick test_optimized_soundness;
+        ] );
+    ]

@@ -1,0 +1,100 @@
+(* The dynamic soundness oracle must not just stay quiet on correct
+   analyses — it must actually catch wrong ones.  These tests corrupt
+   computed summaries in controlled ways and demand a violation. *)
+
+open Spike_support
+open Spike_isa
+open Spike_core
+open Test_helpers
+
+(* callee reads a0 and writes t0; caller invokes it once. *)
+let base_program () =
+  program ~main:"main"
+    [
+      routine "main"
+        [ (None, li Reg.a0 5); (None, call "callee"); (None, use Reg.v0); (None, ret) ];
+      routine "callee"
+        [
+          (None, Insn.Binop { op = Insn.Add; dst = Reg.t0; src1 = Reg.a0; src2 = Insn.Imm 1 });
+          (None, Insn.Mov { dst = Reg.v0; src = Reg.t0 });
+          (None, ret);
+        ];
+    ]
+
+let corrupt_class analysis name f =
+  let idx = Option.get (Spike_ir.Program.find_index analysis.Analysis.program name) in
+  analysis.Analysis.call_classes.(idx) <- f analysis.Analysis.call_classes.(idx);
+  analysis
+
+let expect_violation kind analysis =
+  let _, violations = Spike_interp.Oracle.check analysis in
+  if not (List.exists (fun (v : Spike_interp.Oracle.violation) -> String.equal v.Spike_interp.Oracle.check kind) violations)
+  then
+    Alcotest.failf "expected a %s violation, got: %s" kind
+      (String.concat "; "
+         (List.map
+            (fun v -> Format.asprintf "%a" Spike_interp.Oracle.pp_violation v)
+            violations))
+
+let test_detects_missing_call_used () =
+  (* Claim the callee does not read a0: the run reads it, so the oracle
+     must object. *)
+  let analysis = Analysis.run (base_program ()) in
+  let analysis =
+    corrupt_class analysis "callee" (fun c ->
+        { c with Summary.used = Regset.remove Reg.a0 c.Summary.used })
+  in
+  expect_violation "call-used" analysis
+
+let test_detects_missing_call_killed () =
+  (* Claim the callee does not clobber t0. *)
+  let analysis = Analysis.run (base_program ()) in
+  let analysis =
+    corrupt_class analysis "callee" (fun c ->
+        { c with Summary.killed = Regset.remove Reg.t0 c.Summary.killed })
+  in
+  expect_violation "call-killed" analysis
+
+let test_detects_bogus_call_defined () =
+  (* Claim the callee always defines a5; it never writes it. *)
+  let analysis = Analysis.run (base_program ()) in
+  let analysis =
+    corrupt_class analysis "callee" (fun c ->
+        { c with Summary.defined = Regset.add Reg.a5 c.Summary.defined })
+  in
+  expect_violation "call-defined" analysis
+
+let test_detects_missing_liveness () =
+  (* Claim nothing is live at the callee's exit; the caller reads v0 after
+     the return. *)
+  let analysis = Analysis.run (base_program ()) in
+  let idx = Option.get (Spike_ir.Program.find_index analysis.Analysis.program "callee") in
+  let summary = analysis.Analysis.summaries.(idx) in
+  analysis.Analysis.summaries.(idx) <-
+    {
+      summary with
+      Summary.live_at_exit =
+        List.map (fun (b, _) -> (b, Regset.empty)) summary.Summary.live_at_exit;
+    };
+  expect_violation "live-at-exit" analysis
+
+let test_clean_on_correct_analysis () =
+  let analysis = Analysis.run (base_program ()) in
+  let outcome, violations = Spike_interp.Oracle.check analysis in
+  (match outcome with
+  | Spike_interp.Machine.Halted _ -> ()
+  | Spike_interp.Machine.Trapped _ -> Alcotest.fail "should halt");
+  Alcotest.(check int) "no violations" 0 (List.length violations)
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "detection",
+        [
+          Alcotest.test_case "missing call-used" `Quick test_detects_missing_call_used;
+          Alcotest.test_case "missing call-killed" `Quick test_detects_missing_call_killed;
+          Alcotest.test_case "bogus call-defined" `Quick test_detects_bogus_call_defined;
+          Alcotest.test_case "missing liveness" `Quick test_detects_missing_liveness;
+          Alcotest.test_case "clean baseline" `Quick test_clean_on_correct_analysis;
+        ] );
+    ]

@@ -1,0 +1,213 @@
+(* Unit and property tests for the support library: register sets, PRNG,
+   vectors, worksets, timers. *)
+
+open Spike_support
+
+let regset_testable = Alcotest.testable (Regset.pp ?name:None) Regset.equal
+
+(* --- Regset ------------------------------------------------------------ *)
+
+let arbitrary_regset =
+  QCheck.map
+    (fun (lo, hi) -> Regset.of_bits ~lo ~hi)
+    (QCheck.pair QCheck.int QCheck.int)
+
+let qcheck_regset name law = QCheck.Test.make ~name ~count:500 arbitrary_regset law
+
+let qcheck_regset2 name law =
+  QCheck.Test.make ~name ~count:500 (QCheck.pair arbitrary_regset arbitrary_regset) law
+
+let qcheck_regset3 name law =
+  QCheck.Test.make ~name ~count:500
+    (QCheck.triple arbitrary_regset arbitrary_regset arbitrary_regset)
+    law
+
+let regset_properties =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      qcheck_regset2 "union commutative" (fun (a, b) ->
+          Regset.equal (Regset.union a b) (Regset.union b a));
+      qcheck_regset2 "inter commutative" (fun (a, b) ->
+          Regset.equal (Regset.inter a b) (Regset.inter b a));
+      qcheck_regset3 "union associative" (fun (a, b, c) ->
+          Regset.equal
+            (Regset.union a (Regset.union b c))
+            (Regset.union (Regset.union a b) c));
+      qcheck_regset3 "distributivity" (fun (a, b, c) ->
+          Regset.equal
+            (Regset.inter a (Regset.union b c))
+            (Regset.union (Regset.inter a b) (Regset.inter a c)));
+      qcheck_regset "complement involutive" (fun a ->
+          Regset.equal a (Regset.complement (Regset.complement a)));
+      qcheck_regset "de morgan" (fun a ->
+          Regset.equal
+            (Regset.complement a)
+            (Regset.diff Regset.full a));
+      qcheck_regset2 "diff as inter-complement" (fun (a, b) ->
+          Regset.equal (Regset.diff a b) (Regset.inter a (Regset.complement b)));
+      qcheck_regset2 "subset iff union absorbs" (fun (a, b) ->
+          Regset.subset a b = Regset.equal (Regset.union a b) b);
+      qcheck_regset2 "disjoint iff empty inter" (fun (a, b) ->
+          Regset.disjoint a b = Regset.is_empty (Regset.inter a b));
+      qcheck_regset "to_list/of_list roundtrip" (fun a ->
+          Regset.equal a (Regset.of_list (Regset.to_list a)));
+      qcheck_regset "cardinal = length of to_list" (fun a ->
+          Regset.cardinal a = List.length (Regset.to_list a));
+      qcheck_regset "bits roundtrip" (fun a ->
+          Regset.equal a
+            (Regset.of_bits ~lo:(Regset.lo_bits a) ~hi:(Regset.hi_bits a)));
+      qcheck_regset2 "compare consistent with equal" (fun (a, b) ->
+          Regset.compare a b = 0 = Regset.equal a b);
+    ]
+
+let test_regset_basics () =
+  Alcotest.(check int) "bits" 64 Regset.bits;
+  Alcotest.(check bool) "empty is empty" true (Regset.is_empty Regset.empty);
+  Alcotest.(check int) "full cardinal" 64 (Regset.cardinal Regset.full);
+  let s = Regset.of_list [ 0; 31; 32; 63 ] in
+  Alcotest.(check bool) "mem 0" true (Regset.mem 0 s);
+  Alcotest.(check bool) "mem 63" true (Regset.mem 63 s);
+  Alcotest.(check bool) "not mem 1" false (Regset.mem 1 s);
+  Alcotest.(check (list int)) "sorted members" [ 0; 31; 32; 63 ] (Regset.to_list s);
+  Alcotest.(check regset_testable) "remove" (Regset.of_list [ 0; 31; 63 ])
+    (Regset.remove 32 s);
+  Alcotest.(check (option int)) "choose" (Some 0) (Regset.choose s);
+  Alcotest.(check (option int)) "choose empty" None (Regset.choose Regset.empty);
+  Alcotest.(check regset_testable) "filter"
+    (Regset.of_list [ 32; 63 ])
+    (Regset.filter (fun r -> r >= 32) s);
+  Alcotest.check_raises "out of range" (Invalid_argument "Regset: register 64 out of range")
+    (fun () -> ignore (Regset.singleton 64));
+  Alcotest.(check string) "printing" "{r1, r33}"
+    (Regset.to_string (Regset.of_list [ 1; 33 ]))
+
+(* --- Prng --------------------------------------------------------------- *)
+
+let test_prng () =
+  let g1 = Prng.create 7 and g2 = Prng.create 7 in
+  let a = List.init 100 (fun _ -> Prng.next g1) in
+  let b = List.init 100 (fun _ -> Prng.next g2) in
+  Alcotest.(check (list int)) "deterministic" a b;
+  let g3 = Prng.create 8 in
+  let c = List.init 100 (fun _ -> Prng.next g3) in
+  if a = c then Alcotest.fail "different seeds should differ";
+  let g = Prng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "int out of bounds: %d" v;
+    let w = Prng.int_in g 5 9 in
+    if w < 5 || w > 9 then Alcotest.failf "int_in out of bounds: %d" w;
+    let f = Prng.float g 2.0 in
+    if f < 0.0 || f >= 2.0 then Alcotest.failf "float out of bounds: %f" f
+  done;
+  (* A split stream differs from its parent's continuation. *)
+  let parent = Prng.create 99 in
+  let child = Prng.split parent in
+  let xs = List.init 50 (fun _ -> Prng.next parent) in
+  let ys = List.init 50 (fun _ -> Prng.next child) in
+  if xs = ys then Alcotest.fail "split stream should be independent";
+  (* Shuffle permutes. *)
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle (Prng.create 3) a;
+  Alcotest.(check (list int)) "shuffle is a permutation" (List.init 50 Fun.id)
+    (List.sort Int.compare (Array.to_list a))
+
+let test_prng_chance_balance () =
+  let g = Prng.create 5 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Prng.chance g 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. 10_000.0 in
+  if rate < 0.27 || rate > 0.33 then Alcotest.failf "chance 0.3 measured %.3f" rate
+
+(* --- Vec ---------------------------------------------------------------- *)
+
+let test_vec () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "fresh empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Vec.set v 42 (-1);
+  Alcotest.(check int) "set" (-1) (Vec.get v 42);
+  Alcotest.(check (option int)) "last" (Some 99) (Vec.last v);
+  Alcotest.(check (option int)) "pop" (Some 99) (Vec.pop v);
+  Alcotest.(check int) "length after pop" 99 (Vec.length v);
+  Alcotest.check_raises "bounds" (Invalid_argument "Vec: index 99 out of bounds (len 99)")
+    (fun () -> ignore (Vec.get v 99));
+  let l = [ 5; 6; 7 ] in
+  Alcotest.(check (list int)) "of_list/to_list" l (Vec.to_list (Vec.of_list l));
+  Alcotest.(check (list int)) "map" [ 10; 12; 14 ]
+    (Vec.to_list (Vec.map (fun x -> 2 * x) (Vec.of_list l)));
+  Alcotest.(check int) "fold" 18 (Vec.fold (fun acc x -> acc + x) 0 (Vec.of_list l));
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 6) (Vec.of_list l));
+  Vec.clear v;
+  Alcotest.(check bool) "clear" true (Vec.is_empty v)
+
+(* --- Workset ------------------------------------------------------------ *)
+
+let test_workset () =
+  let w = Workset.create 10 in
+  Alcotest.(check bool) "fresh empty" true (Workset.is_empty w);
+  Workset.push w 3;
+  Workset.push w 7;
+  Workset.push w 3;
+  (* deduplicated *)
+  Alcotest.(check int) "dedup length" 2 (Workset.length w);
+  Alcotest.(check int) "fifo 1" 3 (Workset.pop w);
+  Workset.push w 3;
+  (* re-push after pop is allowed *)
+  Alcotest.(check int) "fifo 2" 7 (Workset.pop w);
+  Alcotest.(check int) "fifo 3" 3 (Workset.pop w);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Workset.pop: empty") (fun () ->
+      ignore (Workset.pop w));
+  (* Wraparound: run many cycles through a small ring. *)
+  let w = Workset.create 4 in
+  for round = 0 to 99 do
+    Workset.push w (round mod 4);
+    Workset.push w ((round + 1) mod 4);
+    ignore (Workset.pop w);
+    ignore (Workset.pop w)
+  done;
+  Alcotest.(check bool) "drained" true (Workset.is_empty w)
+
+(* --- Timer and Memmeter -------------------------------------------------- *)
+
+let test_timer () =
+  let t = Timer.create () in
+  let x = Timer.record t "stage-a" (fun () -> 21 * 2) in
+  Alcotest.(check int) "record returns" 42 x;
+  Timer.add t "stage-b" 1.5;
+  Timer.add t "stage-a" 0.0;
+  Alcotest.(check (list string)) "stage order" [ "stage-a"; "stage-b" ]
+    (List.map fst (Timer.stages t));
+  if Timer.get t "stage-b" <> 1.5 then Alcotest.fail "stage-b total";
+  if Timer.total t < 1.5 then Alcotest.fail "total should include stage-b";
+  Timer.reset t;
+  Alcotest.(check (list string)) "reset" [] (List.map fst (Timer.stages t))
+
+let test_memmeter () =
+  let data, bytes = Memmeter.measure (fun () -> Array.make 100_000 0) in
+  Alcotest.(check int) "computed" 100_000 (Array.length data);
+  (* 100k words is ~800KB on 64-bit. *)
+  if bytes < 700_000 || bytes > 1_000_000 then
+    Alcotest.failf "unexpected measured growth: %d bytes" bytes
+
+let () =
+  Alcotest.run "support"
+    [
+      ( "regset",
+        Alcotest.test_case "basics" `Quick test_regset_basics :: regset_properties );
+      ( "prng",
+        [
+          Alcotest.test_case "determinism and bounds" `Quick test_prng;
+          Alcotest.test_case "chance balance" `Quick test_prng_chance_balance;
+        ] );
+      ("vec", [ Alcotest.test_case "operations" `Quick test_vec ]);
+      ("workset", [ Alcotest.test_case "fifo + dedup + ring" `Quick test_workset ]);
+      ("timer", [ Alcotest.test_case "stages" `Quick test_timer ]);
+      ("memmeter", [ Alcotest.test_case "measure" `Quick test_memmeter ]);
+    ]

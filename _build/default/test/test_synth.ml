@@ -1,0 +1,110 @@
+(* The workload generator: well-formedness, determinism, shape tracking and
+   executability of generated programs. *)
+
+open Spike_ir
+open Spike_synth
+
+let check_valid p =
+  match Validate.check p with
+  | Ok () -> ()
+  | Error problems ->
+      Alcotest.failf "generated program invalid: %s"
+        (String.concat "; " (List.filteri (fun i _ -> i < 5) problems))
+
+let test_validity () =
+  for seed = 0 to 24 do
+    let p = Generator.generate { Params.default with Params.seed } in
+    check_valid p
+  done
+
+let test_determinism () =
+  let p1 = Generator.generate Params.default in
+  let p2 = Generator.generate Params.default in
+  Alcotest.(check string)
+    "same seed, same program" (Spike_asm.Printer.to_string p1)
+    (Spike_asm.Printer.to_string p2);
+  let p3 = Generator.generate { Params.default with Params.seed = 43 } in
+  if String.equal (Spike_asm.Printer.to_string p1) (Spike_asm.Printer.to_string p3) then
+    Alcotest.fail "different seeds should give different programs"
+
+let test_shape () =
+  let params =
+    { Params.default with Params.routines = 40; target_instructions = 4000; seed = 7 }
+  in
+  let p = Generator.generate params in
+  check_valid p;
+  let total = Program.instruction_count p in
+  if total < 2000 || total > 8000 then
+    Alcotest.failf "instruction count %d far from target 4000" total;
+  (* Count call instructions across body routines; should track
+     calls_per_routine within a loose factor (switch arms add more). *)
+  let calls = ref 0 and bodies = ref 0 in
+  Program.iter
+    (fun _ (r : Routine.t) ->
+      if String.length r.Routine.name > 0 && r.Routine.name.[0] = 'r' then begin
+        incr bodies;
+        Array.iter
+          (fun insn -> if Spike_isa.Insn.is_call insn then incr calls)
+          r.Routine.insns
+      end)
+    p;
+  let per_routine = float_of_int !calls /. float_of_int !bodies in
+  if per_routine < 1.0 || per_routine > 12.0 then
+    Alcotest.failf "calls per routine %.2f wildly off target %.2f" per_routine
+      params.Params.calls_per_routine
+
+let test_executability () =
+  for seed = 0 to 14 do
+    let p = Generator.generate { Params.default with Params.seed } in
+    match Spike_interp.Machine.execute ~fuel:2_000_000 p with
+    | Spike_interp.Machine.Halted _ -> ()
+    | Spike_interp.Machine.Trapped t ->
+        let name =
+          match t with
+          | Spike_interp.Machine.Bad_return_address _ -> "bad return address"
+          | Spike_interp.Machine.Bad_call_target _ -> "bad call target"
+          | Spike_interp.Machine.Undeclared_call_target _ -> "undeclared call target"
+          | Spike_interp.Machine.Unknown_routine _ -> "unknown routine"
+          | Spike_interp.Machine.Unknown_jump -> "unknown jump"
+          | Spike_interp.Machine.Out_of_fuel -> "out of fuel"
+        in
+        Alcotest.failf "seed %d trapped: %s" seed name
+  done
+
+let test_scaling () =
+  let base = { Params.default with Params.routines = 10; target_instructions = 1000 } in
+  let big = Params.scale base 4.0 in
+  Alcotest.(check int) "routines scaled" 40 big.Params.routines;
+  Alcotest.(check int) "instructions scaled" 4000 big.Params.target_instructions;
+  let p_small = Generator.generate base and p_big = Generator.generate big in
+  let c_small = Program.instruction_count p_small
+  and c_big = Program.instruction_count p_big in
+  if c_big < 2 * c_small then
+    Alcotest.failf "scaling had too little effect: %d -> %d" c_small c_big
+
+let test_unknown_jump_workloads () =
+  (* Analysis-only workloads may contain unknown jumps and must still
+     validate. *)
+  let params =
+    {
+      Params.default with
+      Params.unknown_jump_prob = 0.3;
+      guard_calls = false;
+      seed = 99;
+    }
+  in
+  check_valid (Generator.generate params)
+
+let () =
+  Alcotest.run "synth"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "validity" `Quick test_validity;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "shape" `Quick test_shape;
+          Alcotest.test_case "executability" `Quick test_executability;
+          Alcotest.test_case "scaling" `Quick test_scaling;
+          Alcotest.test_case "unknown jumps" `Quick test_unknown_jump_workloads;
+        ] );
+    ]

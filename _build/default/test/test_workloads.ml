@@ -1,0 +1,84 @@
+(* The calibrated benchmark workloads and the hand-written assembly
+   example: every calibration row must generate a valid program whose
+   shape tracks the paper's, and the checked-in fact.s must parse, pass
+   the analysis oracles, and compute the right answer. *)
+
+open Spike_ir
+open Spike_synth
+
+let test_every_calibration_generates () =
+  List.iter
+    (fun (row : Calibrate.paper_row) ->
+      let p = Generator.generate (Calibrate.params_of ~scale:0.02 row) in
+      match Validate.check p with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "%s: invalid program: %s" row.Calibrate.name
+            (String.concat "; " (List.filteri (fun i _ -> i < 3) e)))
+    Calibrate.benchmarks
+
+let test_calibration_shape_tracks_paper () =
+  (* At modest scale, instructions per routine should be within 2x of the
+     paper's figure for every benchmark. *)
+  List.iter
+    (fun (row : Calibrate.paper_row) ->
+      let p = Generator.generate (Calibrate.params_of ~scale:0.1 row) in
+      let routines = Program.routine_count p in
+      let measured = float_of_int (Program.instruction_count p) /. float_of_int routines in
+      let target = row.Calibrate.instructions_k *. 1000.0 /. float_of_int row.Calibrate.routines in
+      let ratio = measured /. target in
+      if ratio < 0.5 || ratio > 2.0 then
+        Alcotest.failf "%s: %.1f instructions/routine vs paper %.1f"
+          row.Calibrate.name measured target)
+    Calibrate.benchmarks
+
+let test_calibration_is_deterministic () =
+  let row = Option.get (Calibrate.find "perl") in
+  let a = Generator.generate (Calibrate.params_of ~scale:0.05 row) in
+  let b = Generator.generate (Calibrate.params_of ~scale:0.05 row) in
+  Alcotest.(check string) "same program" (Spike_asm.Printer.to_string a)
+    (Spike_asm.Printer.to_string b)
+
+let fact_path =
+  (* dune runtest runs with cwd = the test directory inside _build; dune
+     exec runs from the workspace root.  Accept either. *)
+  if Sys.file_exists "../examples/fact.s" then "../examples/fact.s"
+  else "examples/fact.s"
+
+let test_fact_s () =
+  let p = Spike_asm.Parser.program_of_file fact_path in
+  (match Validate.check p with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fact.s invalid: %s" (String.concat "; " e));
+  (* fact(6) + fib(8) = 720 + 21 *)
+  (match Spike_interp.Machine.execute p with
+  | Spike_interp.Machine.Halted v -> Alcotest.(check int) "result" 741 v
+  | Spike_interp.Machine.Trapped _ -> Alcotest.fail "fact.s trapped");
+  (* The analysis is dynamically sound on it and fib's s0 save/restore is
+     detected and filtered. *)
+  let analysis = Spike_core.Analysis.run p in
+  let _, violations = Spike_interp.Oracle.check analysis in
+  Alcotest.(check int) "no violations" 0 (List.length violations);
+  let fib = Option.get (Program.find_index p "fib") in
+  Alcotest.(check bool) "s0 filtered in fib" true
+    (Spike_support.Regset.mem Spike_isa.Reg.s0
+       analysis.Spike_core.Analysis.psg.Spike_core.Psg.entry_filter.(fib));
+  (* Optimizing it must not change the answer. *)
+  let optimized, _ = Spike_opt.Opt.run analysis in
+  match Spike_interp.Machine.execute optimized with
+  | Spike_interp.Machine.Halted v -> Alcotest.(check int) "optimized result" 741 v
+  | Spike_interp.Machine.Trapped _ -> Alcotest.fail "optimized fact.s trapped"
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "calibration",
+        [
+          Alcotest.test_case "all benchmarks generate" `Quick
+            test_every_calibration_generates;
+          Alcotest.test_case "shape tracks the paper" `Quick
+            test_calibration_shape_tracks_paper;
+          Alcotest.test_case "deterministic" `Quick test_calibration_is_deterministic;
+        ] );
+      ("fact.s", [ Alcotest.test_case "end to end" `Quick test_fact_s ]);
+    ]
