@@ -8,6 +8,8 @@
      dune exec bench/main.exe -- --scale 0.5
      dune exec bench/main.exe -- --table 4    # a single table
      dune exec bench/main.exe -- --figure 13
+     dune exec bench/main.exe -- --jobs 4     # domains for the analysis front-end
+     dune exec bench/main.exe -- --scaling    # jobs = 1/2/4/8 study + BENCH_psg.json
      dune exec bench/main.exe -- --no-bechamel *)
 
 open Spike_synth
@@ -17,7 +19,10 @@ let only_table = ref None
 let only_figure = ref None
 let only_ablations = ref false
 let only_layout = ref false
+let only_scaling = ref false
 let run_bechamel = ref true
+let jobs = ref None
+let scaling_out = ref "BENCH_psg.json"
 
 let args =
   [
@@ -29,10 +34,19 @@ let args =
       "N print only figure N (1, 13, 14, 15)" );
     ("--ablations", Arg.Set only_ablations, " print only the ablation studies");
     ("--layout", Arg.Set only_layout, " print only the code-layout study");
+    ( "--scaling",
+      Arg.Set only_scaling,
+      " print only the multicore scaling study (writes BENCH_psg.json)" );
+    ( "--scaling-out",
+      Arg.Set_string scaling_out,
+      "PATH where the scaling study writes its JSON (default BENCH_psg.json)" );
+    ( "--jobs",
+      Arg.Int (fun n -> jobs := Some n),
+      "N domains for the analysis front-end (default: recommended count)" );
     ("--no-bechamel", Arg.Clear run_bechamel, " skip the Bechamel micro-benchmarks");
   ]
 
-let narrowed () = !only_ablations || !only_layout
+let narrowed () = !only_ablations || !only_layout || !only_scaling
 
 let wants_table n =
   match (!only_table, !only_figure, narrowed ()) with
@@ -57,12 +71,17 @@ let wants_layout () =
   | None, None -> !only_layout || not (narrowed ())
   | _ -> !only_layout
 
+let wants_scaling () =
+  match (!only_table, !only_figure) with
+  | None, None -> !only_scaling || not (narrowed ())
+  | _ -> !only_scaling
+
 let measurements () =
   List.map
     (fun row ->
       Format.eprintf "measuring %-10s ...@?" row.Calibrate.name;
       let t0 = Unix.gettimeofday () in
-      let m = Measure.run_benchmark ~scale:!scale row in
+      let m = Measure.run_benchmark ~scale:!scale ?jobs:!jobs row in
       Format.eprintf " done (%.1fs)@." (Unix.gettimeofday () -. t0);
       m)
     Calibrate.benchmarks
@@ -73,7 +92,7 @@ let sweep () =
   | Some gcc ->
       List.map
         (fun factor ->
-          (factor, Measure.run_benchmark ~scale:(factor *. !scale) gcc))
+          (factor, Measure.run_benchmark ~scale:(factor *. !scale) ?jobs:!jobs gcc))
         [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
 
 (* --- Bechamel micro-benchmarks: one Test.make per table/figure --------- *)
@@ -176,5 +195,6 @@ let () =
   if wants_figure 1 then Figure1.print ppf;
   if wants_ablations () then Ablations.print ppf;
   if wants_layout () then Layout_bench.print ppf;
+  if wants_scaling () then Scaling.print ~json_path:!scaling_out ppf ~scale:!scale ();
   if !run_bechamel && !only_table = None && !only_figure = None && not (narrowed ())
   then run_bechamel_suite ppf

@@ -41,10 +41,10 @@ let is_branch = function
   | Insn.Jump_unknown _ | Insn.Call _ | Insn.Ret | Insn.Nop ->
       false
 
-let run_benchmark ?(scale = 1.0) (row : Calibrate.paper_row) =
+let run_benchmark ?(scale = 1.0) ?jobs (row : Calibrate.paper_row) =
   let params = Calibrate.params_of ~scale row in
   let program = Generator.generate params in
-  let analysis, bytes = Memmeter.measure (fun () -> Analysis.run program) in
+  let analysis, bytes = Memmeter.measure (fun () -> Analysis.run ?jobs program) in
   let nroutines = Program.routine_count program in
   let blocks =
     Array.fold_left (fun n cfg -> n + Spike_cfg.Cfg.block_count cfg) 0

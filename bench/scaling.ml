@@ -1,0 +1,131 @@
+(* The multicore scaling study: how the analysis front-end speeds up with
+   the domain count, and the machine-readable BENCH_psg.json record that
+   lets the performance trajectory be compared across revisions.
+
+   Each calibrated workload is generated once, then analysed end to end at
+   jobs = 1, 2, 4, 8.  Phases 1 and 2 are sequential at every setting, so
+   the front-end columns (CFG build + initialization + PSG build) isolate
+   the part that is expected to scale. *)
+
+open Spike_support
+open Spike_core
+open Spike_synth
+
+let jobs_list = [ 1; 2; 4; 8 ]
+let workload_names = [ "gcc"; "acad" ]
+
+type point = {
+  workload : string;
+  jobs : int;
+  routines : int;
+  instructions : int;
+  total_s : float;
+  front_end_s : float;
+  stages : (string * float) list;
+  psg_nodes : int;
+  psg_edges : int;
+  phase1_iterations : int;
+  phase2_iterations : int;
+}
+
+let front_end_stages =
+  [ Analysis.stage_cfg_build; Analysis.stage_init; Analysis.stage_psg_build ]
+
+let measure_point ~workload ~program jobs =
+  let analysis = Analysis.run ~jobs program in
+  let stages = Timer.stages analysis.Analysis.timer in
+  let stage_get name = try List.assoc name stages with Not_found -> 0.0 in
+  {
+    workload;
+    jobs;
+    routines = Spike_ir.Program.routine_count program;
+    instructions = Spike_ir.Program.instruction_count program;
+    total_s = Analysis.total_seconds analysis;
+    front_end_s = List.fold_left (fun s n -> s +. stage_get n) 0.0 front_end_stages;
+    stages;
+    psg_nodes = Psg.node_count analysis.Analysis.psg;
+    psg_edges = Psg.edge_count analysis.Analysis.psg;
+    phase1_iterations = analysis.Analysis.phase1_iterations;
+    phase2_iterations = analysis.Analysis.phase2_iterations;
+  }
+
+let measure ~scale =
+  List.concat_map
+    (fun name ->
+      match Calibrate.find name with
+      | None -> []
+      | Some row ->
+          let program = Generator.generate (Calibrate.params_of ~scale row) in
+          List.map (fun jobs -> measure_point ~workload:name ~program jobs) jobs_list)
+    workload_names
+
+(* --- BENCH_psg.json ----------------------------------------------------- *)
+
+let json_of_points buf ~scale points =
+  let field_sep = ref "" in
+  let addf fmt = Printf.bprintf buf fmt in
+  addf "{\n";
+  addf "  \"schema\": \"spike-bench-psg/1\",\n";
+  addf "  \"scale\": %.4f,\n" scale;
+  addf "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  addf "  \"points\": [";
+  List.iter
+    (fun p ->
+      addf "%s\n    {" !field_sep;
+      field_sep := ",";
+      addf " \"workload\": \"%s\", \"jobs\": %d," p.workload p.jobs;
+      addf " \"routines\": %d, \"instructions\": %d," p.routines p.instructions;
+      addf " \"total_s\": %.6f, \"front_end_s\": %.6f," p.total_s p.front_end_s;
+      addf " \"stages\": {";
+      List.iteri
+        (fun i (name, secs) ->
+          addf "%s\"%s\": %.6f" (if i = 0 then " " else ", ") name secs)
+        p.stages;
+      addf " },";
+      addf " \"psg_nodes\": %d, \"psg_edges\": %d," p.psg_nodes p.psg_edges;
+      addf " \"phase1_iterations\": %d, \"phase2_iterations\": %d }" p.phase1_iterations
+        p.phase2_iterations)
+    points;
+  addf "\n  ]\n}\n"
+
+let write_json path ~scale points =
+  let buf = Buffer.create 4096 in
+  json_of_points buf ~scale points;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf))
+
+(* --- The scaling table --------------------------------------------------- *)
+
+let print ?(json_path = "BENCH_psg.json") ppf ~scale () =
+  Format.fprintf ppf "@.=== Front-end scaling on OCaml 5 domains@.";
+  Format.fprintf ppf
+    "(workloads generated once and re-analysed per jobs setting; phases 1-2 \
+     stay sequential; this machine recommends %d domains)@."
+    (Domain.recommended_domain_count ());
+  let points = measure ~scale in
+  let by_workload =
+    List.filter
+      (fun name -> List.exists (fun p -> String.equal p.workload name) points)
+      workload_names
+  in
+  Format.fprintf ppf "%s@." (String.make 78 '-');
+  Format.fprintf ppf "%-10s %5s %10s %10s %10s %10s@." "workload" "jobs" "total(s)"
+    "frontend(s)" "speedup" "fe-speedup";
+  List.iter
+    (fun name ->
+      let ps = List.filter (fun p -> String.equal p.workload name) points in
+      let base = List.find (fun p -> p.jobs = 1) ps in
+      List.iter
+        (fun p ->
+          let speedup t base_t = if t > 0.0 then base_t /. t else 0.0 in
+          Format.fprintf ppf "%-10s %5d %10.4f %10.4f %9.2fx %9.2fx@." p.workload
+            p.jobs p.total_s p.front_end_s
+            (speedup p.total_s base.total_s)
+            (speedup p.front_end_s base.front_end_s))
+        ps;
+      Format.fprintf ppf "%s@." (String.make 78 '-'))
+    by_workload;
+  write_json json_path ~scale points;
+  Format.fprintf ppf "wrote %s@." json_path

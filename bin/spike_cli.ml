@@ -43,12 +43,24 @@ let branch_nodes_arg =
     & info [ "branch-nodes" ] ~docv:"BOOL"
         ~doc:"Insert PSG branch nodes at multiway branches (§3.6).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains for the per-routine analysis stages (default: the \
+           machine's recommended domain count).  Results are identical for \
+           every value.")
+
 (* --- analyze ----------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run file branch_nodes verbose externals =
+  let run file branch_nodes verbose externals jobs =
     let program = load_program file in
-    let analysis = Analysis.run ~branch_nodes ~externals:(load_externals externals) program in
+    let analysis =
+      Analysis.run ~branch_nodes ~externals:(load_externals externals) ?jobs program
+    in
     Format.printf "%a@." Analysis.pp_times analysis;
     Format.printf "%a@." Psg_stats.pp (Psg_stats.of_psg analysis.Analysis.psg);
     Array.iter
@@ -61,15 +73,15 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Compute interprocedural register summaries")
-    Term.(const run $ file_arg $ branch_nodes_arg $ verbose $ externals_arg)
+    Term.(const run $ file_arg $ branch_nodes_arg $ verbose $ externals_arg $ jobs_arg)
 
 (* --- opt --------------------------------------------------------------- *)
 
 let opt_cmd =
-  let run file output externals =
+  let run file output externals jobs =
     let program = load_program file in
     let optimized, report =
-      Spike_opt.Opt.run (Analysis.run ~externals:(load_externals externals) program)
+      Spike_opt.Opt.run (Analysis.run ~externals:(load_externals externals) ?jobs program)
     in
     Format.printf "%a@." Spike_opt.Opt.pp_report report;
     match output with
@@ -86,15 +98,15 @@ let opt_cmd =
   in
   Cmd.v
     (Cmd.info "opt" ~doc:"Apply the summary-driven optimizations (Figure 1)")
-    Term.(const run $ file_arg $ output $ externals_arg)
+    Term.(const run $ file_arg $ output $ externals_arg $ jobs_arg)
 
 (* --- run --------------------------------------------------------------- *)
 
 let run_cmd =
-  let run file fuel check =
+  let run file fuel check jobs =
     let program = load_program file in
     if check then begin
-      let analysis = Analysis.run program in
+      let analysis = Analysis.run ?jobs program in
       let outcome, violations = Spike_interp.Oracle.check ~fuel analysis in
       List.iter
         (fun v -> Format.printf "violation: %a@." Spike_interp.Oracle.pp_violation v)
@@ -124,7 +136,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a program under the interpreter")
-    Term.(const run $ file_arg $ fuel $ check)
+    Term.(const run $ file_arg $ fuel $ check $ jobs_arg)
 
 (* --- gen --------------------------------------------------------------- *)
 
@@ -220,9 +232,9 @@ let layout_cmd =
 (* --- dump -------------------------------------------------------------- *)
 
 let dump_cmd =
-  let run file branch_nodes =
+  let run file branch_nodes jobs =
     let program = load_program file in
-    let analysis = Analysis.run ~branch_nodes program in
+    let analysis = Analysis.run ~branch_nodes ?jobs program in
     let blocks =
       Array.fold_left
         (fun n cfg -> n + Spike_cfg.Cfg.block_count cfg)
@@ -249,7 +261,7 @@ let dump_cmd =
   in
   Cmd.v
     (Cmd.info "dump" ~doc:"Dump CFGs and graph statistics")
-    Term.(const run $ file_arg $ branch_nodes_arg)
+    Term.(const run $ file_arg $ branch_nodes_arg $ jobs_arg)
 
 let () =
   let doc = "post-link-time interprocedural register dataflow (PLDI'97 reproduction)" in

@@ -15,6 +15,7 @@ type t = {
   branch_nodes : bool;
   externals : string -> Psg.external_class option;
   callee_saved_filter : bool;
+  jobs : int;
 }
 
 let stage_cfg_build = "CFG Build"
@@ -24,56 +25,64 @@ let stage_phase1 = "Phase 1"
 let stage_phase2 = "Phase 2"
 
 let run ?(branch_nodes = true) ?(externals = fun _ -> None)
-    ?(callee_saved_filter = true) program =
-  let timer = Timer.create () in
-  let routines = Program.routines program in
-  let cfgs =
-    Timer.record timer stage_cfg_build (fun () -> Array.map Cfg.build routines)
+    ?(callee_saved_filter = true) ?jobs program =
+  let jobs =
+    match jobs with Some j -> max 1 (min j 64) | None -> Pool.default_jobs ()
   in
-  let defuses, entry_filters =
-    Timer.record timer stage_init (fun () ->
-        let defuses = Array.map Defuse.compute cfgs in
-        let filters =
-          if callee_saved_filter then
-            Array.mapi
-              (fun r cfg -> Callee_saved.saved_and_restored routines.(r) cfg)
-              cfgs
-          else Array.map (fun _ -> Regset.empty) cfgs
-        in
-        (defuses, filters))
-  in
-  let psg =
-    Timer.record timer stage_psg_build (fun () ->
-        Psg_build.build ~branch_nodes ~entry_filters ~externals program cfgs defuses)
-  in
-  let phase1_iterations, call_classes =
-    Timer.record timer stage_phase1 (fun () ->
-        let iterations = Phase1.run psg in
-        (iterations, Summary.extract_call_classes psg))
-  in
-  let phase2_iterations, summaries =
-    Timer.record timer stage_phase2 (fun () ->
-        let iterations = Phase2.run psg in
-        (iterations, Summary.extract psg call_classes))
-  in
-  {
-    program;
-    cfgs;
-    defuses;
-    psg;
-    call_classes;
-    summaries;
-    timer;
-    phase1_iterations;
-    phase2_iterations;
-    branch_nodes;
-    externals;
-    callee_saved_filter;
-  }
+  Pool.with_pool ~jobs (fun pool ->
+      let timer = Timer.create () in
+      let routines = Program.routines program in
+      let cfgs =
+        Timer.record timer stage_cfg_build (fun () ->
+            Pool.parallel_map_array pool Cfg.build routines)
+      in
+      let defuses, entry_filters =
+        Timer.record timer stage_init (fun () ->
+            let defuses = Pool.parallel_map_array pool Defuse.compute cfgs in
+            let filters =
+              if callee_saved_filter then
+                Pool.parallel_init pool (Array.length cfgs) (fun r ->
+                    Callee_saved.saved_and_restored routines.(r) cfgs.(r))
+              else Array.map (fun _ -> Regset.empty) cfgs
+            in
+            (defuses, filters))
+      in
+      let psg =
+        Timer.record timer stage_psg_build (fun () ->
+            Psg_build.build ~branch_nodes ~entry_filters ~externals ~pool program
+              cfgs defuses)
+      in
+      (* Phases 1 and 2 are global fixpoints over the whole PSG; they stay
+         sequential. *)
+      let phase1_iterations, call_classes =
+        Timer.record timer stage_phase1 (fun () ->
+            let iterations = Phase1.run psg in
+            (iterations, Summary.extract_call_classes psg))
+      in
+      let phase2_iterations, summaries =
+        Timer.record timer stage_phase2 (fun () ->
+            let iterations = Phase2.run psg in
+            (iterations, Summary.extract psg call_classes))
+      in
+      {
+        program;
+        cfgs;
+        defuses;
+        psg;
+        call_classes;
+        summaries;
+        timer;
+        phase1_iterations;
+        phase2_iterations;
+        branch_nodes;
+        externals;
+        callee_saved_filter;
+        jobs;
+      })
 
 let rerun t program =
   run ~branch_nodes:t.branch_nodes ~externals:t.externals
-    ~callee_saved_filter:t.callee_saved_filter program
+    ~callee_saved_filter:t.callee_saved_filter ~jobs:t.jobs program
 
 let summary_of t name = Summary.find t.summaries t.program name
 let site_class t info = Summary.site_class t.psg t.call_classes info

@@ -28,6 +28,7 @@ type t = {
   branch_nodes : bool;  (** configuration, for {!rerun} *)
   externals : string -> Psg.external_class option;
   callee_saved_filter : bool;
+  jobs : int;  (** parallelism degree the front-end stages ran with *)
 }
 
 val stage_cfg_build : string
@@ -40,6 +41,7 @@ val run :
   ?branch_nodes:bool ->
   ?externals:(string -> Psg.external_class option) ->
   ?callee_saved_filter:bool ->
+  ?jobs:int ->
   Program.t ->
   t
 (** Analyse a whole program.  [branch_nodes] (default [true]) controls
@@ -49,7 +51,17 @@ val run :
     ({!Spike_ir.Validate.check}); behaviour on ill-formed programs is
     unspecified.  [callee_saved_filter] (default [true]) controls the §3.4
     filter — disabling it is an ablation that shows how much precision the
-    save/restore transparency buys. *)
+    save/restore transparency buys.
+
+    [jobs] (default {!Spike_support.Pool.default_jobs}, i.e.
+    [Domain.recommended_domain_count] clamped; explicit values are clamped
+    to [[1, 64]]) is the number of domains the per-routine front-end
+    stages — CFG build, initialization and the PSG local pass — run on.
+    Results are bit-identical for every [jobs] value; phases 1 and 2 are
+    global fixpoints and always sequential.  With [jobs > 1], [externals]
+    is called concurrently and must be thread-safe.  Stage times recorded
+    in [timer] are wall-clock, so a parallel stage reports its elapsed
+    time, not the sum over domains. *)
 
 val rerun : t -> Program.t -> t
 (** Re-analyse a transformed program under the same configuration

@@ -25,31 +25,56 @@ let apply_block ~def ~ubd out =
     must_def = Regset.union out.must_def def;
   }
 
+(* A routine's flow-summary edges are solved one after another over
+   subgraphs of the same CFG, so the block-to-slot map and the IN-set table
+   are preallocated at routine size and reused across edges.  A generation
+   stamp invalidates the previous edge's entries without an O(blocks)
+   reset. *)
 type solution = {
-  position : (int, int) Hashtbl.t;  (* block id -> index into [ins] *)
-  ins : sets array;
+  position : int array;  (* block id -> slot; valid iff stamp.(b) = gen *)
+  stamp : int array;
+  mutable gen : int;
+  ins : sets array;  (* slot -> IN sets of the current subgraph *)
 }
 
-let solve ~cfg ~defuse ~rpo_position ~blocks ~sink =
-  let n = Array.length blocks in
-  let position = Hashtbl.create (2 * n) in
+type scratch = solution
+
+let create_scratch ~nblocks =
+  {
+    position = Array.make (max nblocks 1) 0;
+    stamp = Array.make (max nblocks 1) 0;
+    gen = 0;
+    ins = Array.make (max nblocks 1) top_must;
+  }
+
+let solve ?scratch ~cfg ~defuse ~rpo_position ~blocks ~sink () =
+  let s =
+    match scratch with
+    | Some s -> s
+    | None -> create_scratch ~nblocks:(Cfg.block_count cfg)
+  in
+  s.gen <- s.gen + 1;
   (* Backward dataflow converges fastest visiting a block after its
      successors, i.e. in descending reverse-postorder position. *)
-  let order = Array.copy blocks in
-  Array.sort (fun a b -> Int.compare rpo_position.(b) rpo_position.(a)) order;
-  Array.iteri (fun i b -> Hashtbl.replace position b i) order;
-  let ins = Array.make n { empty with must_def = Regset.full } in
+  Array.sort (fun a b -> Int.compare rpo_position.(b) rpo_position.(a)) blocks;
+  let gen = s.gen in
+  Array.iteri
+    (fun i b ->
+      s.position.(b) <- i;
+      s.stamp.(b) <- gen;
+      s.ins.(i) <- top_must)
+    blocks;
+  let position = s.position and stamp = s.stamp and ins = s.ins in
   let out_of b =
     if b = sink then empty
     else begin
       let acc = ref top_must and found = ref false in
       Array.iter
-        (fun s ->
-          match Hashtbl.find_opt position s with
-          | Some i ->
-              found := true;
-              acc := join !acc ins.(i)
-          | None -> ())
+        (fun succ ->
+          if succ < Array.length stamp && stamp.(succ) = gen then begin
+            found := true;
+            acc := join !acc ins.(position.(succ))
+          end)
         cfg.Cfg.blocks.(b).Cfg.succs;
       (* Construction guarantees every non-sink subgraph block lies on a
          path to the sink, hence has a subgraph successor. *)
@@ -69,13 +94,12 @@ let solve ~cfg ~defuse ~rpo_position ~blocks ~sink =
           ins.(i) <- next;
           changed := true
         end)
-      order
+      blocks
   done;
-  { position; ins }
+  s
 
-let mem sol b = Hashtbl.mem sol.position b
+let mem sol b = b < Array.length sol.stamp && sol.stamp.(b) = sol.gen
 
 let in_of sol b =
-  match Hashtbl.find_opt sol.position b with
-  | Some i -> sol.ins.(i)
-  | None -> invalid_arg (Printf.sprintf "Edge_dataflow.in_of: block %d not in subgraph" b)
+  if mem sol b then sol.ins.(sol.position.(b))
+  else invalid_arg (Printf.sprintf "Edge_dataflow.in_of: block %d not in subgraph" b)

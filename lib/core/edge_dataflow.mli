@@ -36,18 +36,35 @@ val apply_block : def:Regset.t -> ubd:Regset.t -> sets -> sets
 
 type solution
 
+type scratch = solution
+(** Preallocated routine-sized working storage for {!solve}: the
+    block-to-slot position map and the IN-set table, generation-stamped so
+    reuse across the edges of one routine costs no per-edge reset or
+    rehash.  One scratch serves one routine's edges sequentially; give
+    each domain of a parallel build its own. *)
+
+val create_scratch : nblocks:int -> scratch
+(** Scratch for a routine of [nblocks] basic blocks. *)
+
 val solve :
+  ?scratch:scratch ->
   cfg:Cfg.t ->
   defuse:Defuse.t ->
   rpo_position:int array ->
   blocks:int array ->
   sink:int ->
+  unit ->
   solution
-(** [solve ~cfg ~defuse ~rpo_position ~blocks ~sink] runs the dataflow to
-    fixpoint over the subgraph [blocks] (which must contain [sink]).
+(** [solve ~cfg ~defuse ~rpo_position ~blocks ~sink ()] runs the dataflow
+    to fixpoint over the subgraph [blocks] (which must contain [sink]).
     [rpo_position.(b)] is block [b]'s index in the routine's reverse
     postorder; it only affects convergence speed.  Every non-sink subgraph
-    block must have at least one successor inside the subgraph. *)
+    block must have at least one successor inside the subgraph.
+
+    [blocks] is sorted in place into evaluation order.  When [scratch] is
+    supplied the returned solution aliases it and is invalidated by the
+    next [solve] on the same scratch — read the label off before solving
+    the next edge.  Without [scratch] a fresh one is allocated. *)
 
 val in_of : solution -> int -> sets
 (** IN sets of a subgraph block.

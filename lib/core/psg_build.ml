@@ -3,6 +3,25 @@ open Spike_isa
 open Spike_ir
 open Spike_cfg
 
+(* PSG construction is split into two passes so the expensive part scales
+   with cores:
+
+   - a {e local pass}, run per routine (in parallel when a pool is given):
+     node and edge discovery, per-edge subgraph collection and the Figure-6
+     dataflow that labels flow-summary edges — everything that reads only
+     the routine's own CFG and DEF/UBD sets.  Ids produced here are
+     routine-local, assigned in exactly the order the former single-loop
+     builder produced them;
+
+   - a short sequential {e stitch pass}: routine-local ids are offset by
+     per-routine prefix sums into the global node/edge/call tables, and the
+     caller lists are wired.
+
+   Because the local pass numbers nodes, edges and calls in the same
+   intra-routine order as the sequential builder, and the stitch pass
+   concatenates routines in program order, the resulting PSG is
+   bit-identical whatever the parallelism degree. *)
+
 (* A source's paths begin either at the start of a block (entry and return
    nodes) or at the dispatch of a block's terminating multiway branch
    (branch nodes), i.e. after the block's own instructions. *)
@@ -10,8 +29,202 @@ type source_mode = At_block_start | After_block
 
 type source = { src_node : int; src_block : int; mode : source_mode }
 
-let build ?(branch_nodes = true) ?entry_filters ?(externals = fun _ -> None) program
-    cfgs defuses =
+type local_edge = {
+  le_kind : Psg.edge_kind;
+  le_src : int;  (* routine-local node id *)
+  le_dst : int;
+  le_label : Edge_dataflow.sets;
+}
+
+type local_call = {
+  lc_call_node : int;  (* routine-local node id *)
+  lc_return_node : int;
+  lc_cr_edge : int;  (* routine-local edge id *)
+  lc_callee : Insn.callee;
+  lc_targets : Psg.call_target list option;
+  lc_call_def : Regset.t;
+  lc_call_use : Regset.t;
+}
+
+type local = {
+  l_kinds : Psg.node_kind array;  (* routine-local node id -> kind *)
+  l_edges : local_edge array;
+  l_calls : local_call array;
+  l_entry : int list;  (* routine-local node ids, declaration order *)
+  l_exit : int list;
+  l_unknown : int list;
+}
+
+(* --- Local pass --------------------------------------------------------- *)
+
+let local_pass ~branch_nodes ~resolve_targets r (cfg : Cfg.t) defuse =
+  let nblocks = Cfg.block_count cfg in
+  let kinds = Vec.create () in
+  let edges = Vec.create () in
+  let calls = Vec.create () in
+  let entry = ref [] and exit_ = ref [] and unknown = ref [] in
+  let new_node kind =
+    let id = Vec.length kinds in
+    Vec.push kinds kind;
+    id
+  in
+  let new_edge le_kind le_src le_dst le_label =
+    let edge_id = Vec.length edges in
+    Vec.push edges { le_kind; le_src; le_dst; le_label };
+    edge_id
+  in
+  (* --- Nodes and cut points ------------------------------------------- *)
+  let sink_of_block = Array.make nblocks None in
+  let sources = ref [] in
+  List.iter
+    (fun (label, block) ->
+      let node = new_node (Psg.Entry { routine = r; label }) in
+      entry := node :: !entry;
+      sources := { src_node = node; src_block = block; mode = At_block_start } :: !sources)
+    cfg.entry_blocks;
+  Array.iter
+    (fun (b : Cfg.block) ->
+      match b.ending with
+      | Ends_ret ->
+          let node = new_node (Psg.Exit { routine = r; block = b.id }) in
+          exit_ := node :: !exit_;
+          sink_of_block.(b.id) <- Some node
+      | Ends_jump_unknown ->
+          let node = new_node (Psg.Unknown_exit { routine = r; block = b.id }) in
+          unknown := node :: !unknown;
+          sink_of_block.(b.id) <- Some node
+      | Ends_call callee ->
+          (* A call falls through, so validation guarantees a unique
+             successor: the return point. *)
+          assert (Array.length b.succs = 1);
+          let return_block = b.succs.(0) in
+          let call_node = new_node (Psg.Call { routine = r; block = b.id }) in
+          let return_node =
+            new_node (Psg.Return { routine = r; call_block = b.id; block = return_block })
+          in
+          sink_of_block.(b.id) <- Some call_node;
+          sources :=
+            { src_node = return_node; src_block = return_block; mode = At_block_start }
+            :: !sources;
+          let call_insn = cfg.routine.Routine.insns.(b.last) in
+          let cr_edge =
+            new_edge Psg.Call_return call_node return_node Edge_dataflow.top_must
+          in
+          Vec.push calls
+            {
+              lc_call_node = call_node;
+              lc_return_node = return_node;
+              lc_cr_edge = cr_edge;
+              lc_callee = callee;
+              lc_targets = resolve_targets callee;
+              lc_call_def = Insn.defs call_insn;
+              lc_call_use = Insn.uses call_insn;
+            }
+      | Ends_switch when branch_nodes ->
+          let node = new_node (Psg.Branch { routine = r; block = b.id }) in
+          sink_of_block.(b.id) <- Some node;
+          sources := { src_node = node; src_block = b.id; mode = After_block } :: !sources
+      | Ends_switch | Ends_plain -> ())
+    cfg.blocks;
+  (* --- Flow-summary edges ---------------------------------------------- *)
+  let rpo = Cfg.reverse_postorder cfg in
+  let rpo_position = Array.make nblocks 0 in
+  Array.iteri (fun pos b -> rpo_position.(b) <- pos) rpo;
+  (* Stamped visited maps and dataflow scratch, reused across this
+     routine's edges. *)
+  let fwd_stamp = Array.make nblocks (-1) and bwd_stamp = Array.make nblocks (-1) in
+  let stamp = ref 0 in
+  let scratch = Edge_dataflow.create_scratch ~nblocks in
+  (* Forward reach from a source, stopping at cut blocks.  Returns the
+     sinks reached; marks fwd_stamp. *)
+  let forward_reach source =
+    incr stamp;
+    let s = !stamp in
+    let sinks = ref [] in
+    let rec visit b =
+      if fwd_stamp.(b) <> s then begin
+        fwd_stamp.(b) <- s;
+        match sink_of_block.(b) with
+        | Some sink -> if not (List.mem (sink, b) !sinks) then sinks := (sink, b) :: !sinks
+        | None -> Array.iter visit cfg.blocks.(b).succs
+      end
+    in
+    (match source.mode with
+    | At_block_start -> visit source.src_block
+    | After_block -> Array.iter visit cfg.blocks.(source.src_block).succs);
+    (s, List.rev !sinks)
+  in
+  (* Backward reach from a sink block, not crossing other cuts.  Marks
+     bwd_stamp; memoised per sink block. *)
+  let bwd_cache = Hashtbl.create 8 in
+  let backward_reach sink_block =
+    match Hashtbl.find_opt bwd_cache sink_block with
+    | Some (s, blocks) -> (s, blocks)
+    | None ->
+        incr stamp;
+        let s = !stamp in
+        let collected = Vec.create () in
+        let rec visit b =
+          if bwd_stamp.(b) <> s then begin
+            bwd_stamp.(b) <- s;
+            Vec.push collected b;
+            Array.iter
+              (fun p -> if sink_of_block.(p) = None then visit p)
+              cfg.blocks.(b).preds
+          end
+        in
+        visit sink_block;
+        let blocks = Vec.to_array collected in
+        Hashtbl.replace bwd_cache sink_block (s, blocks);
+        (s, blocks)
+  in
+  List.iter
+    (fun source ->
+      let fwd_s, sinks = forward_reach source in
+      List.iter
+        (fun (sink_node, sink_block) ->
+          let _bwd_s, bwd_blocks = backward_reach sink_block in
+          (* The subgraph of this edge: blocks on source-to-sink paths. *)
+          let subgraph =
+            Array.of_list
+              (List.filter
+                 (fun b -> fwd_stamp.(b) = fwd_s)
+                 (Array.to_list bwd_blocks))
+          in
+          let solution =
+            Edge_dataflow.solve ~scratch ~cfg ~defuse ~rpo_position ~blocks:subgraph
+              ~sink:sink_block ()
+          in
+          let label =
+            match source.mode with
+            | At_block_start -> Edge_dataflow.in_of solution source.src_block
+            | After_block ->
+                (* The branch node sits after the block's instructions:
+                   its label merges the IN sets of the dispatch
+                   targets inside the subgraph. *)
+                Array.fold_left
+                  (fun acc succ ->
+                    if Edge_dataflow.mem solution succ then
+                      Edge_dataflow.join acc (Edge_dataflow.in_of solution succ)
+                    else acc)
+                  Edge_dataflow.top_must cfg.blocks.(source.src_block).succs
+          in
+          ignore (new_edge Psg.Flow source.src_node sink_node label))
+        sinks)
+    (List.rev !sources);
+  {
+    l_kinds = Vec.to_array kinds;
+    l_edges = Vec.to_array edges;
+    l_calls = Vec.to_array calls;
+    l_entry = List.rev !entry;
+    l_exit = List.rev !exit_;
+    l_unknown = List.rev !unknown;
+  }
+
+(* --- Stitch pass -------------------------------------------------------- *)
+
+let build ?(branch_nodes = true) ?entry_filters ?(externals = fun _ -> None) ?pool
+    program cfgs defuses =
   let nroutines = Program.routine_count program in
   (* §3.5: a call target resolves to a routine of the image, to external
      code with a supplied summary, or to nothing (the calling-standard
@@ -33,199 +246,115 @@ let build ?(branch_nodes = true) ?entry_filters ?(externals = fun _ -> None) pro
         if List.exists Option.is_none resolved then None
         else Some (List.filter_map Fun.id resolved)
   in
-  let nodes = Vec.create () in
-  let edges = Vec.create () in
-  let calls = Vec.create () in
-  let callers_of = Array.make nroutines [] in
+  let pinit n f =
+    match pool with Some p -> Pool.parallel_init p n f | None -> Array.init n f
+  in
+  let locals =
+    pinit nroutines (fun r ->
+        local_pass ~branch_nodes ~resolve_targets r cfgs.(r) defuses.(r))
+  in
+  (* Prefix sums assign every routine its contiguous global id ranges —
+     the same ids the former single-loop builder handed out. *)
+  let node_offset = Array.make (nroutines + 1) 0 in
+  let edge_offset = Array.make (nroutines + 1) 0 in
+  let call_offset = Array.make (nroutines + 1) 0 in
+  for r = 0 to nroutines - 1 do
+    node_offset.(r + 1) <- node_offset.(r) + Array.length locals.(r).l_kinds;
+    edge_offset.(r + 1) <- edge_offset.(r) + Array.length locals.(r).l_edges;
+    call_offset.(r + 1) <- call_offset.(r) + Array.length locals.(r).l_calls
+  done;
+  let nnodes = node_offset.(nroutines) in
+  let nedges = edge_offset.(nroutines) in
+  let ncalls = call_offset.(nroutines) in
+  (* Placeholder elements; every slot is overwritten by the stitch loop
+     below, so the shared placeholders are never mutated in place. *)
+  let dummy_node =
+    {
+      Psg.id = -1;
+      kind = Psg.Entry { routine = -1; label = "" };
+      may_use = Regset.empty;
+      may_def = Regset.empty;
+      must_def = Regset.empty;
+    }
+  in
+  let dummy_edge =
+    {
+      Psg.edge_id = -1;
+      src = -1;
+      dst = -1;
+      ekind = Psg.Flow;
+      e_may_use = Regset.empty;
+      e_may_def = Regset.empty;
+      e_must_def = Regset.empty;
+    }
+  in
+  let nodes = Array.make nnodes dummy_node in
+  let edges = Array.make nedges dummy_edge in
+  let calls = Array.make ncalls None in
+  let callers_rev = Array.make nroutines [] in
   let entry_nodes = Array.make nroutines [] in
   let exit_nodes = Array.make nroutines [] in
   let unknown_exit_nodes = Array.make nroutines [] in
-  let new_node kind =
-    let id = Vec.length nodes in
-    Vec.push nodes
-      {
-        Psg.id;
-        kind;
-        may_use = Regset.empty;
-        may_def = Regset.empty;
-        must_def = Regset.empty;
-      };
-    id
-  in
-  let new_edge ekind src dst label =
-    let edge_id = Vec.length edges in
-    Vec.push edges
-      {
-        Psg.edge_id;
-        src;
-        dst;
-        ekind;
-        e_may_use = label.Edge_dataflow.may_use;
-        e_may_def = label.Edge_dataflow.may_def;
-        e_must_def = label.Edge_dataflow.must_def;
-      };
-    edge_id
-  in
   for r = 0 to nroutines - 1 do
-    let cfg = cfgs.(r) and defuse = defuses.(r) in
-    let nblocks = Cfg.block_count cfg in
-    (* --- Nodes and cut points --------------------------------------- *)
-    let sink_of_block = Array.make nblocks None in
-    let sources = ref [] in
-    List.iter
-      (fun (label, block) ->
-        let node = new_node (Psg.Entry { routine = r; label }) in
-        entry_nodes.(r) <- entry_nodes.(r) @ [ node ];
-        sources := { src_node = node; src_block = block; mode = At_block_start } :: !sources)
-      cfg.entry_blocks;
-    Array.iter
-      (fun (b : Cfg.block) ->
-        match b.ending with
-        | Ends_ret ->
-            let node = new_node (Psg.Exit { routine = r; block = b.id }) in
-            exit_nodes.(r) <- exit_nodes.(r) @ [ node ];
-            sink_of_block.(b.id) <- Some node
-        | Ends_jump_unknown ->
-            let node = new_node (Psg.Unknown_exit { routine = r; block = b.id }) in
-            unknown_exit_nodes.(r) <- unknown_exit_nodes.(r) @ [ node ];
-            sink_of_block.(b.id) <- Some node
-        | Ends_call callee ->
-            (* A call falls through, so validation guarantees a unique
-               successor: the return point. *)
-            assert (Array.length b.succs = 1);
-            let return_block = b.succs.(0) in
-            let call_node = new_node (Psg.Call { routine = r; block = b.id }) in
-            let return_node =
-              new_node (Psg.Return { routine = r; call_block = b.id; block = return_block })
-            in
-            sink_of_block.(b.id) <- Some call_node;
-            sources :=
-              { src_node = return_node; src_block = return_block; mode = At_block_start }
-              :: !sources;
-            let call_insn = cfg.routine.Routine.insns.(b.last) in
-            let cr_edge =
-              new_edge Psg.Call_return call_node return_node Edge_dataflow.top_must
-            in
-            let targets = resolve_targets callee in
-            let info =
-              {
-                Psg.call_node;
-                return_node;
-                cr_edge;
-                callee;
-                targets;
-                call_def = Insn.defs call_insn;
-                call_use = Insn.uses call_insn;
-              }
-            in
-            let call_index = Vec.length calls in
-            Vec.push calls info;
-            (match targets with
-            | Some resolved ->
-                List.iter
-                  (fun target ->
-                    match target with
-                    | Psg.Target_routine t ->
-                        callers_of.(t) <- call_index :: callers_of.(t)
-                    | Psg.Target_external _ -> ())
-                  resolved
-            | None -> ())
-        | Ends_switch when branch_nodes ->
-            let node = new_node (Psg.Branch { routine = r; block = b.id }) in
-            sink_of_block.(b.id) <- Some node;
-            sources := { src_node = node; src_block = b.id; mode = After_block } :: !sources
-        | Ends_switch | Ends_plain -> ())
-      cfg.blocks;
-    (* --- Flow-summary edges ------------------------------------------ *)
-    let rpo = Cfg.reverse_postorder cfg in
-    let rpo_position = Array.make nblocks 0 in
-    Array.iteri (fun pos b -> rpo_position.(b) <- pos) rpo;
-    (* Stamped visited maps, reused across traversals of this routine. *)
-    let fwd_stamp = Array.make nblocks (-1) and bwd_stamp = Array.make nblocks (-1) in
-    let stamp = ref 0 in
-    (* Forward reach from a source, stopping at cut blocks.  Returns the
-       sinks reached; marks fwd_stamp. *)
-    let forward_reach source =
-      incr stamp;
-      let s = !stamp in
-      let sinks = ref [] in
-      let rec visit b =
-        if fwd_stamp.(b) <> s then begin
-          fwd_stamp.(b) <- s;
-          match sink_of_block.(b) with
-          | Some sink -> if not (List.mem (sink, b) !sinks) then sinks := (sink, b) :: !sinks
-          | None -> Array.iter visit cfg.blocks.(b).succs
-        end
-      in
-      (match source.mode with
-      | At_block_start -> visit source.src_block
-      | After_block -> Array.iter visit cfg.blocks.(source.src_block).succs);
-      (s, List.rev !sinks)
-    in
-    (* Backward reach from a sink block, not crossing other cuts.  Marks
-       bwd_stamp; memoised per sink block. *)
-    let bwd_cache = Hashtbl.create 8 in
-    let backward_reach sink_block =
-      match Hashtbl.find_opt bwd_cache sink_block with
-      | Some (s, blocks) -> (s, blocks)
-      | None ->
-          incr stamp;
-          let s = !stamp in
-          let collected = Vec.create () in
-          let rec visit b =
-            if bwd_stamp.(b) <> s then begin
-              bwd_stamp.(b) <- s;
-              Vec.push collected b;
-              Array.iter
-                (fun p -> if sink_of_block.(p) = None then visit p)
-                cfg.blocks.(b).preds
-            end
-          in
-          visit sink_block;
-          let blocks = Vec.to_array collected in
-          Hashtbl.replace bwd_cache sink_block (s, blocks);
-          (s, blocks)
-    in
-    List.iter
-      (fun source ->
-        let fwd_s, sinks = forward_reach source in
-        List.iter
-          (fun (sink_node, sink_block) ->
-            let _bwd_s, bwd_blocks = backward_reach sink_block in
-            (* The subgraph of this edge: blocks on source-to-sink paths. *)
-            let subgraph =
-              Array.of_list
-                (List.filter
-                   (fun b -> fwd_stamp.(b) = fwd_s)
-                   (Array.to_list bwd_blocks))
-            in
-            let solution =
-              Edge_dataflow.solve ~cfg ~defuse ~rpo_position ~blocks:subgraph
-                ~sink:sink_block
-            in
-            let label =
-              match source.mode with
-              | At_block_start -> Edge_dataflow.in_of solution source.src_block
-              | After_block ->
-                  (* The branch node sits after the block's instructions:
-                     its label merges the IN sets of the dispatch
-                     targets inside the subgraph. *)
-                  Array.fold_left
-                    (fun acc succ ->
-                      if Edge_dataflow.mem solution succ then
-                        Edge_dataflow.join acc (Edge_dataflow.in_of solution succ)
-                      else acc)
-                    Edge_dataflow.top_must cfg.blocks.(source.src_block).succs
-            in
-            ignore (new_edge Psg.Flow source.src_node sink_node label))
-          sinks)
-      (List.rev !sources)
+    let local = locals.(r) in
+    let noff = node_offset.(r) and eoff = edge_offset.(r) and coff = call_offset.(r) in
+    Array.iteri
+      (fun i kind ->
+        nodes.(noff + i) <-
+          {
+            Psg.id = noff + i;
+            kind;
+            may_use = Regset.empty;
+            may_def = Regset.empty;
+            must_def = Regset.empty;
+          })
+      local.l_kinds;
+    Array.iteri
+      (fun j (e : local_edge) ->
+        edges.(eoff + j) <-
+          {
+            Psg.edge_id = eoff + j;
+            src = noff + e.le_src;
+            dst = noff + e.le_dst;
+            ekind = e.le_kind;
+            e_may_use = e.le_label.Edge_dataflow.may_use;
+            e_may_def = e.le_label.Edge_dataflow.may_def;
+            e_must_def = e.le_label.Edge_dataflow.must_def;
+          })
+      local.l_edges;
+    Array.iteri
+      (fun k (c : local_call) ->
+        let call_index = coff + k in
+        calls.(call_index) <-
+          Some
+            {
+              Psg.call_node = noff + c.lc_call_node;
+              return_node = noff + c.lc_return_node;
+              cr_edge = eoff + c.lc_cr_edge;
+              callee = c.lc_callee;
+              targets = c.lc_targets;
+              call_def = c.lc_call_def;
+              call_use = c.lc_call_use;
+            };
+        match c.lc_targets with
+        | Some resolved ->
+            List.iter
+              (fun target ->
+                match target with
+                | Psg.Target_routine t -> callers_rev.(t) <- call_index :: callers_rev.(t)
+                | Psg.Target_external _ -> ())
+              resolved
+        | None -> ())
+      local.l_calls;
+    entry_nodes.(r) <- List.map (fun l -> noff + l) local.l_entry;
+    exit_nodes.(r) <- List.map (fun l -> noff + l) local.l_exit;
+    unknown_exit_nodes.(r) <- List.map (fun l -> noff + l) local.l_unknown
   done;
+  let calls =
+    Array.map (function Some c -> c | None -> assert false) calls
+  in
   (* --- Freeze ---------------------------------------------------------- *)
-  let nodes = Vec.to_array nodes in
-  let edges = Vec.to_array edges in
-  let out_lists = Array.make (Array.length nodes) []
-  and in_lists = Array.make (Array.length nodes) [] in
+  let out_lists = Array.make nnodes [] and in_lists = Array.make nnodes [] in
   Array.iter
     (fun (e : Psg.edge) ->
       out_lists.(e.src) <- e.edge_id :: out_lists.(e.src);
@@ -240,7 +369,7 @@ let build ?(branch_nodes = true) ?entry_filters ?(externals = fun _ -> None) pro
           invalid_arg "Psg_build.build: entry_filters length mismatch";
         filters
     | None ->
-        Array.init nroutines (fun r ->
+        pinit nroutines (fun r ->
             Callee_saved.saved_and_restored (Program.get program r) cfgs.(r))
   in
   {
@@ -249,8 +378,8 @@ let build ?(branch_nodes = true) ?entry_filters ?(externals = fun _ -> None) pro
     edges;
     out_edges;
     in_edges;
-    calls = Vec.to_array calls;
-    callers_of = Array.map List.rev callers_of;
+    calls;
+    callers_of = Array.map List.rev callers_rev;
     entry_nodes;
     exit_nodes;
     unknown_exit_nodes;

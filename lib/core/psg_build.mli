@@ -12,7 +12,15 @@
     the subgraph of blocks on such paths.
 
     With [branch_nodes = false] multiway branches are ordinary control
-    flow, reproducing the quadratic edge blow-up measured in Table 4. *)
+    flow, reproducing the quadratic edge blow-up measured in Table 4.
+
+    Construction is split into a per-routine {e local pass} (node/edge
+    discovery and edge labelling — parallelized over a {!Spike_support.Pool}
+    when one is supplied) and a sequential {e stitch pass} that assigns
+    global ids by per-routine prefix sums and wires the cross-routine
+    caller lists.  The local pass numbers everything in the same
+    intra-routine order as a sequential build, so the PSG is bit-identical
+    for every parallelism degree. *)
 
 open Spike_support
 open Spike_ir
@@ -22,6 +30,7 @@ val build :
   ?branch_nodes:bool ->
   ?entry_filters:Regset.t array ->
   ?externals:(string -> Psg.external_class option) ->
+  ?pool:Pool.t ->
   Program.t ->
   Cfg.t array ->
   Defuse.t array ->
@@ -32,4 +41,7 @@ val build :
     {!Callee_saved.saved_and_restored} on every routine.  [externals]
     supplies §3.5 compiler/linker summaries for call targets outside the
     image; names it does not cover fall back to the calling-standard
-    assumption. *)
+    assumption — with a pool of more than one domain it is called
+    concurrently and must be thread-safe (pure lookups are).  [pool]
+    parallelizes the per-routine local pass; omitting it (or passing a
+    one-domain pool) runs sequentially. *)

@@ -12,7 +12,9 @@ val create : unit -> t
 
 val record : t -> string -> (unit -> 'a) -> 'a
 (** [record t stage f] runs [f ()], adding its wall-clock duration to
-    [stage]'s accumulated total. *)
+    [stage]'s accumulated total.  Wall-clock is the right attribution for
+    stages that fan out over a {!Pool}: a parallel stage reports its
+    elapsed time, not CPU time summed over domains. *)
 
 val add : t -> string -> float -> unit
 (** [add t stage secs] adds [secs] to [stage] directly. *)

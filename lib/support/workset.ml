@@ -20,6 +20,13 @@ let is_empty t = t.count = 0
 let length t = t.count
 
 let push t id =
+  (* [unsafe_get] below elides the per-push bounds check the fixpoints pay
+     millions of times; this single range test keeps an out-of-range id an
+     error instead of a silent out-of-bounds read. *)
+  if id < 0 || id >= Bytes.length t.queued then
+    invalid_arg
+      (Printf.sprintf "Workset.push: id %d out of range [0, %d)" id
+         (Bytes.length t.queued));
   if Bytes.unsafe_get t.queued id = '\000' then begin
     Bytes.unsafe_set t.queued id '\001';
     t.ring.(t.tail) <- id;

@@ -11,7 +11,8 @@ val create : int -> t
 (** [create n] handles ids in [0 .. n - 1]. *)
 
 val push : t -> int -> unit
-(** Enqueue an id; no-op if it is already queued. *)
+(** Enqueue an id; no-op if it is already queued.
+    @raise Invalid_argument when the id is outside [0 .. n - 1]. *)
 
 val pop : t -> int
 (** Dequeue the oldest id and clear its membership.

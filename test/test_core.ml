@@ -61,7 +61,9 @@ let test_edge_dataflow_loop () =
   Array.iteri (fun i b -> rpo_position.(b) <- i) rpo;
   let blocks = Array.init (Spike_cfg.Cfg.block_count cfg) Fun.id in
   let exit_block = List.hd (Spike_cfg.Cfg.exit_blocks cfg) in
-  let sol = Edge_dataflow.solve ~cfg ~defuse ~rpo_position ~blocks ~sink:exit_block in
+  let sol =
+    Edge_dataflow.solve ~cfg ~defuse ~rpo_position ~blocks ~sink:exit_block ()
+  in
   let at_entry = Edge_dataflow.in_of sol 0 in
   check_restricted "loop may_use" ~over:(rs [ r1; r2 ])
     (rs [ r1 ])

@@ -174,6 +174,80 @@ let test_workset () =
   done;
   Alcotest.(check bool) "drained" true (Workset.is_empty w)
 
+let test_workset_bounds () =
+  let w = Workset.create 4 in
+  Alcotest.check_raises "push above capacity"
+    (Invalid_argument "Workset.push: id 4 out of range [0, 4)") (fun () ->
+      Workset.push w 4);
+  Alcotest.check_raises "push negative"
+    (Invalid_argument "Workset.push: id -1 out of range [0, 4)") (fun () ->
+      Workset.push w (-1));
+  (* The failed pushes must not have corrupted the set. *)
+  Workset.push w 3;
+  Alcotest.(check int) "still usable" 3 (Workset.pop w)
+
+(* --- Pool ---------------------------------------------------------------- *)
+
+let test_pool_ordering () =
+  (* Results land at their input's index whatever the parallelism. *)
+  let input = Array.init 1000 (fun i -> i) in
+  let expected = Array.map (fun x -> (x * x) + 1 ) input in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let got = Pool.parallel_map_array pool (fun x -> (x * x) + 1) input in
+          Alcotest.(check (array int))
+            (Printf.sprintf "map ordered at jobs=%d" jobs)
+            expected got;
+          let got = Pool.parallel_init pool 1000 (fun i -> (i * i) + 1) in
+          Alcotest.(check (array int))
+            (Printf.sprintf "init ordered at jobs=%d" jobs)
+            expected got))
+    [ 1; 2; 4; 7 ]
+
+let test_pool_exception () =
+  (* The worker's exception resurfaces on the calling domain, whether the
+     failing index runs on a worker or on the caller itself. *)
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          Alcotest.check_raises
+            (Printf.sprintf "propagates at jobs=%d" jobs)
+            (Failure "boom") (fun () ->
+              ignore
+                (Pool.parallel_init pool 500 (fun i ->
+                     if i = 311 then failwith "boom" else i)));
+          (* The pool survives a failed operation. *)
+          Alcotest.(check (array int)) "usable after failure" [| 0; 1; 2 |]
+            (Pool.parallel_init pool 3 Fun.id)))
+    [ 1; 4 ]
+
+let test_pool_empty_and_small () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (array int)) "empty input" [||]
+        (Pool.parallel_map_array pool (fun x -> x) [||]);
+      Alcotest.(check (array int)) "empty init" [||] (Pool.parallel_init pool 0 Fun.id);
+      (* More domains than items: every item still computed exactly once. *)
+      let hits = Array.make 3 0 in
+      let got =
+        Pool.parallel_init pool 3 (fun i ->
+            hits.(i) <- hits.(i) + 1;
+            i * 10)
+      in
+      Alcotest.(check (array int)) "jobs > items result" [| 0; 10; 20 |] got;
+      Alcotest.(check (array int)) "each item once" [| 1; 1; 1 |] hits)
+
+let test_pool_lifecycle () =
+  let pool = Pool.create ~jobs:3 in
+  Alcotest.(check int) "jobs clamped low" 1 Pool.(jobs (create ~jobs:0));
+  Alcotest.(check int) "jobs accessor" 3 (Pool.jobs pool);
+  Alcotest.(check (array int)) "works" [| 0; 1 |] (Pool.parallel_init pool 2 Fun.id);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* with_pool shuts down even when the body raises *)
+  Alcotest.check_raises "with_pool reraises" Exit (fun () ->
+      Pool.with_pool ~jobs:2 (fun _ -> raise Exit))
+
 (* --- Timer and Memmeter -------------------------------------------------- *)
 
 let test_timer () =
@@ -207,7 +281,18 @@ let () =
           Alcotest.test_case "chance balance" `Quick test_prng_chance_balance;
         ] );
       ("vec", [ Alcotest.test_case "operations" `Quick test_vec ]);
-      ("workset", [ Alcotest.test_case "fifo + dedup + ring" `Quick test_workset ]);
+      ( "workset",
+        [
+          Alcotest.test_case "fifo + dedup + ring" `Quick test_workset;
+          Alcotest.test_case "out-of-range push" `Quick test_workset_bounds;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "ordering" `Quick test_pool_ordering;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "empty and jobs > items" `Quick test_pool_empty_and_small;
+          Alcotest.test_case "lifecycle" `Quick test_pool_lifecycle;
+        ] );
       ("timer", [ Alcotest.test_case "stages" `Quick test_timer ]);
       ("memmeter", [ Alcotest.test_case "measure" `Quick test_memmeter ]);
     ]
