@@ -14,6 +14,8 @@ open Spike_synth
 let jobs_list = [ 1; 2; 4; 8 ]
 let workload_names = [ "gcc"; "acad" ]
 
+type lane = { lane : int; busy_s : float; chunks : int }
+
 type point = {
   workload : string;
   jobs : int;
@@ -22,6 +24,7 @@ type point = {
   total_s : float;
   front_end_s : float;
   stages : (string * float) list;
+  per_domain : lane list;
   psg_nodes : int;
   psg_edges : int;
   phase1_iterations : int;
@@ -30,6 +33,20 @@ type point = {
 
 let front_end_stages =
   [ Analysis.stage_cfg_build; Analysis.stage_init; Analysis.stage_psg_build ]
+
+(* Per-domain utilization comes from a second, traced, run of the same
+   point: the timing run stays untraced so the recorded seconds keep the
+   disabled-path overhead (a branch per probe), comparable with earlier
+   revisions of this file.  Lane ids are renumbered from 0 because every
+   Analysis.run spawns a fresh pool of domains, and only the chunk spans
+   of the front-end are summed — that is the busy time of each domain. *)
+let trace_per_domain ~program jobs =
+  Spike_obs.Trace.enable ();
+  ignore (Analysis.run ~jobs program);
+  Spike_obs.Trace.disable ();
+  List.mapi
+    (fun i (_, busy_s, chunks) -> { lane = i; busy_s; chunks })
+    (Spike_obs.Trace.lane_seconds ~name:"pool.chunk" ())
 
 let measure_point ~workload ~program jobs =
   let analysis = Analysis.run ~jobs program in
@@ -43,6 +60,7 @@ let measure_point ~workload ~program jobs =
     total_s = Analysis.total_seconds analysis;
     front_end_s = List.fold_left (fun s n -> s +. stage_get n) 0.0 front_end_stages;
     stages;
+    per_domain = trace_per_domain ~program jobs;
     psg_nodes = Psg.node_count analysis.Analysis.psg;
     psg_edges = Psg.edge_count analysis.Analysis.psg;
     phase1_iterations = analysis.Analysis.phase1_iterations;
@@ -65,7 +83,7 @@ let json_of_points buf ~scale points =
   let field_sep = ref "" in
   let addf fmt = Printf.bprintf buf fmt in
   addf "{\n";
-  addf "  \"schema\": \"spike-bench-psg/1\",\n";
+  addf "  \"schema\": \"spike-bench-psg/2\",\n";
   addf "  \"scale\": %.4f,\n" scale;
   addf "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
   addf "  \"points\": [";
@@ -82,6 +100,14 @@ let json_of_points buf ~scale points =
           addf "%s\"%s\": %.6f" (if i = 0 then " " else ", ") name secs)
         p.stages;
       addf " },";
+      addf " \"per_domain\": [";
+      List.iteri
+        (fun i l ->
+          addf "%s{ \"lane\": %d, \"busy_s\": %.6f, \"chunks\": %d }"
+            (if i = 0 then " " else ", ")
+            l.lane l.busy_s l.chunks)
+        p.per_domain;
+      addf " ],";
       addf " \"psg_nodes\": %d, \"psg_edges\": %d," p.psg_nodes p.psg_edges;
       addf " \"phase1_iterations\": %d, \"phase2_iterations\": %d }" p.phase1_iterations
         p.phase2_iterations)

@@ -53,10 +53,89 @@ let jobs_arg =
            machine's recommended domain count).  Results are identical for \
            every value.")
 
+(* --- Observability flags (shared by analyze/opt/run/dump) --------------- *)
+
+type obs = {
+  trace_out : (string * out_channel) option;
+  metrics_out : (string * out_channel) option;
+  mutable stats : bool;
+}
+
+(* Output paths are opened before the command does any work, so a bad
+   path fails in milliseconds, not after a long analysis. *)
+let open_out_or_die ~flag path =
+  try open_out path
+  with Sys_error msg ->
+    Format.eprintf "spike: cannot write --%s: %s@." flag msg;
+    exit 1
+
+let obs_setup trace_out metrics_out stats =
+  let obs =
+    {
+      trace_out = Option.map (fun p -> (p, open_out_or_die ~flag:"trace-out" p)) trace_out;
+      metrics_out =
+        Option.map (fun p -> (p, open_out_or_die ~flag:"metrics-out" p)) metrics_out;
+      stats;
+    }
+  in
+  if obs.trace_out <> None then Spike_obs.Trace.enable ();
+  if obs.metrics_out <> None || obs.stats then Spike_obs.Metrics.enable ();
+  obs
+
+(* [force_stats] late-enables metrics for [analyze --verbose]; it must be
+   called before the analysis runs. *)
+let obs_force_stats obs =
+  if not (obs.stats || obs.metrics_out <> None) then Spike_obs.Metrics.enable ();
+  obs.stats <- true
+
+let obs_finish obs =
+  Spike_obs.Trace.disable ();
+  (match obs.trace_out with
+  | Some (path, oc) ->
+      Spike_obs.Trace.write_chrome oc;
+      close_out oc;
+      Format.printf "wrote %s (load it in Perfetto or chrome://tracing)@." path
+  | None -> ());
+  (match obs.metrics_out with
+  | Some (path, oc) ->
+      Spike_obs.Metrics.write_json oc;
+      close_out oc;
+      Format.printf "wrote %s@." path
+  | None -> ());
+  if obs.stats then Format.printf "@.=== metrics@.%t@." Spike_obs.Metrics.pp;
+  Spike_obs.Metrics.disable ()
+
+let obs_term =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON of the command (one lane per \
+             analysis domain); load it in Perfetto or chrome://tracing.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write the metrics registry snapshot as JSON.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print the metrics table when the command finishes.")
+  in
+  Term.(const obs_setup $ trace_out $ metrics_out $ stats)
+
 (* --- analyze ----------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run file branch_nodes verbose externals jobs =
+  let run file branch_nodes verbose externals jobs obs =
+    (* --verbose is the ergonomic spelling of --stats: one detailed view,
+       the metrics table, instead of a separate ad-hoc dump. *)
+    if verbose then obs_force_stats obs;
     let program = load_program file in
     let analysis =
       Analysis.run ~branch_nodes ~externals:(load_externals externals) ?jobs program
@@ -66,29 +145,37 @@ let analyze_cmd =
     Array.iter
       (fun summary -> Format.printf "@.%a@." Summary.pp summary)
       analysis.Analysis.summaries;
-    if verbose then Format.printf "@.%a@." Psg.pp analysis.Analysis.psg
+    obs_finish obs
   in
   let verbose =
-    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also dump the PSG itself.")
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"Also print the metrics table (same as $(b,--stats)).")
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Compute interprocedural register summaries")
-    Term.(const run $ file_arg $ branch_nodes_arg $ verbose $ externals_arg $ jobs_arg)
+    Term.(
+      const run $ file_arg $ branch_nodes_arg $ verbose $ externals_arg $ jobs_arg
+      $ obs_term)
 
 (* --- opt --------------------------------------------------------------- *)
 
 let opt_cmd =
-  let run file output externals jobs =
+  let run file output externals jobs obs =
     let program = load_program file in
     let optimized, report =
-      Spike_opt.Opt.run (Analysis.run ~externals:(load_externals externals) ?jobs program)
+      Spike_obs.Trace.with_span "opt.run" (fun () ->
+          Spike_opt.Opt.run
+            (Analysis.run ~externals:(load_externals externals) ?jobs program))
     in
     Format.printf "%a@." Spike_opt.Opt.pp_report report;
-    match output with
+    (match output with
     | Some path ->
         Spike_asm.Printer.to_file path optimized;
         Format.printf "wrote %s@." path
-    | None -> Format.printf "@.%a@." Spike_asm.Printer.pp_program optimized
+    | None -> Format.printf "@.%a@." Spike_asm.Printer.pp_program optimized);
+    obs_finish obs
   in
   let output =
     Arg.(
@@ -98,30 +185,40 @@ let opt_cmd =
   in
   Cmd.v
     (Cmd.info "opt" ~doc:"Apply the summary-driven optimizations (Figure 1)")
-    Term.(const run $ file_arg $ output $ externals_arg $ jobs_arg)
+    Term.(const run $ file_arg $ output $ externals_arg $ jobs_arg $ obs_term)
 
 (* --- run --------------------------------------------------------------- *)
 
 let run_cmd =
-  let run file fuel check jobs =
+  let run file fuel check jobs obs =
     let program = load_program file in
     if check then begin
       let analysis = Analysis.run ?jobs program in
-      let outcome, violations = Spike_interp.Oracle.check ~fuel analysis in
+      let outcome, violations =
+        Spike_obs.Trace.with_span "oracle.check" (fun () ->
+            Spike_interp.Oracle.check ~fuel analysis)
+      in
       List.iter
         (fun v -> Format.printf "violation: %a@." Spike_interp.Oracle.pp_violation v)
         violations;
       (match outcome with
       | Spike_interp.Machine.Halted v -> Format.printf "halted, v0 = %d@." v
       | Spike_interp.Machine.Trapped _ -> Format.printf "trapped@.");
+      obs_finish obs;
       if violations <> [] then exit 1
     end
-    else
-      match Spike_interp.Machine.execute ~fuel program with
+    else begin
+      let outcome =
+        Spike_obs.Trace.with_span "interp.execute" (fun () ->
+            Spike_interp.Machine.execute ~fuel program)
+      in
+      obs_finish obs;
+      match outcome with
       | Spike_interp.Machine.Halted v -> Format.printf "halted, v0 = %d@." v
       | Spike_interp.Machine.Trapped _ ->
           Format.printf "trapped@.";
           exit 1
+    end
   in
   let fuel =
     Arg.(
@@ -136,7 +233,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a program under the interpreter")
-    Term.(const run $ file_arg $ fuel $ check $ jobs_arg)
+    Term.(const run $ file_arg $ fuel $ check $ jobs_arg $ obs_term)
 
 (* --- gen --------------------------------------------------------------- *)
 
@@ -232,7 +329,7 @@ let layout_cmd =
 (* --- dump -------------------------------------------------------------- *)
 
 let dump_cmd =
-  let run file branch_nodes jobs =
+  let run file branch_nodes jobs obs =
     let program = load_program file in
     let analysis = Analysis.run ~branch_nodes ?jobs program in
     let blocks =
@@ -257,11 +354,12 @@ let dump_cmd =
           Format.printf "  saved+restored: %a@."
             (Regset.pp ~name:Spike_isa.Reg.name)
             filter)
-      analysis.Analysis.cfgs
+      analysis.Analysis.cfgs;
+    obs_finish obs
   in
   Cmd.v
     (Cmd.info "dump" ~doc:"Dump CFGs and graph statistics")
-    Term.(const run $ file_arg $ branch_nodes_arg $ jobs_arg)
+    Term.(const run $ file_arg $ branch_nodes_arg $ jobs_arg $ obs_term)
 
 let () =
   let doc = "post-link-time interprocedural register dataflow (PLDI'97 reproduction)" in

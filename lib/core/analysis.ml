@@ -24,6 +24,46 @@ let stage_psg_build = "PSG Build"
 let stage_phase1 = "Phase 1"
 let stage_phase2 = "Phase 2"
 
+(* Observability.  Every stage is both a timer bucket and a trace span,
+   followed by a heap-footprint gauge sample; the PSG composition
+   counters mirror Figures 14-15's size-by-label breakdown. *)
+let c_runs = Spike_obs.Metrics.counter "analysis.runs"
+let c_routines = Spike_obs.Metrics.counter "analysis.routines"
+
+let psg_counters =
+  [
+    (Spike_obs.Metrics.counter "psg.nodes", fun (s : Psg_stats.t) -> s.nodes);
+    (Spike_obs.Metrics.counter "psg.nodes.entry", fun s -> s.entry_nodes);
+    (Spike_obs.Metrics.counter "psg.nodes.exit", fun s -> s.exit_nodes);
+    (Spike_obs.Metrics.counter "psg.nodes.call", fun s -> s.call_nodes);
+    (Spike_obs.Metrics.counter "psg.nodes.return", fun s -> s.return_nodes);
+    (Spike_obs.Metrics.counter "psg.nodes.branch", fun s -> s.branch_nodes);
+    ( Spike_obs.Metrics.counter "psg.nodes.unknown_exit",
+      fun s -> s.unknown_exit_nodes );
+    (Spike_obs.Metrics.counter "psg.edges", fun s -> s.edges);
+    (Spike_obs.Metrics.counter "psg.edges.flow", fun s -> s.flow_edges);
+    ( Spike_obs.Metrics.counter "psg.edges.call_return",
+      fun s -> s.call_return_edges );
+  ]
+
+let heap_gauge =
+  let gauges = Hashtbl.create 8 in
+  fun stage ->
+    match Hashtbl.find_opt gauges stage with
+    | Some g -> g
+    | None ->
+        let g = Spike_obs.Metrics.gauge ("heap.bytes.after." ^ stage) in
+        Hashtbl.add gauges stage g;
+        g
+
+(* A stage is one timer bucket, one span, and one heap sample. *)
+let record_stage timer stage f =
+  let result = Timer.record timer stage (fun () -> Spike_obs.Trace.with_span stage f) in
+  if Spike_obs.Metrics.enabled () then
+    Spike_obs.Metrics.set_gauge (heap_gauge stage)
+      (float_of_int (Memmeter.sample_bytes ()));
+  result
+
 let run ?(branch_nodes = true) ?(externals = fun _ -> None)
     ?(callee_saved_filter = true) ?jobs program =
   let jobs =
@@ -32,35 +72,50 @@ let run ?(branch_nodes = true) ?(externals = fun _ -> None)
   Pool.with_pool ~jobs (fun pool ->
       let timer = Timer.create () in
       let routines = Program.routines program in
+      Spike_obs.Metrics.incr c_runs;
+      Spike_obs.Metrics.add c_routines (Array.length routines);
       let cfgs =
-        Timer.record timer stage_cfg_build (fun () ->
-            Pool.parallel_map_array pool Cfg.build routines)
+        record_stage timer stage_cfg_build (fun () ->
+            Pool.parallel_map_array pool
+              (fun r -> Spike_obs.Trace.with_span "cfg.build" (fun () -> Cfg.build r))
+              routines)
       in
       let defuses, entry_filters =
-        Timer.record timer stage_init (fun () ->
-            let defuses = Pool.parallel_map_array pool Defuse.compute cfgs in
+        record_stage timer stage_init (fun () ->
+            let defuses =
+              Pool.parallel_map_array pool
+                (fun cfg ->
+                  Spike_obs.Trace.with_span "defuse.compute" (fun () ->
+                      Defuse.compute cfg))
+                cfgs
+            in
             let filters =
               if callee_saved_filter then
                 Pool.parallel_init pool (Array.length cfgs) (fun r ->
-                    Callee_saved.saved_and_restored routines.(r) cfgs.(r))
+                    Spike_obs.Trace.with_span "callee_saved.filter" (fun () ->
+                        Callee_saved.saved_and_restored routines.(r) cfgs.(r)))
               else Array.map (fun _ -> Regset.empty) cfgs
             in
             (defuses, filters))
       in
       let psg =
-        Timer.record timer stage_psg_build (fun () ->
+        record_stage timer stage_psg_build (fun () ->
             Psg_build.build ~branch_nodes ~entry_filters ~externals ~pool program
               cfgs defuses)
       in
+      if Spike_obs.Metrics.enabled () then begin
+        let stats = Psg_stats.of_psg psg in
+        List.iter (fun (c, get) -> Spike_obs.Metrics.add c (get stats)) psg_counters
+      end;
       (* Phases 1 and 2 are global fixpoints over the whole PSG; they stay
          sequential. *)
       let phase1_iterations, call_classes =
-        Timer.record timer stage_phase1 (fun () ->
+        record_stage timer stage_phase1 (fun () ->
             let iterations = Phase1.run psg in
             (iterations, Summary.extract_call_classes psg))
       in
       let phase2_iterations, summaries =
-        Timer.record timer stage_phase2 (fun () ->
+        record_stage timer stage_phase2 (fun () ->
             let iterations = Phase2.run psg in
             (iterations, Summary.extract psg call_classes))
       in

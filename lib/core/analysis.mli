@@ -8,8 +8,15 @@
         {- {b Phase 1} — call-used / call-defined / call-killed;}
         {- {b Phase 2} — live-at-entry / live-at-exit.}}
 
-    Stage wall-clock times accumulate in the result's {!Spike_support.Timer.t}
-    under the stage-name constants below. *)
+    Stage elapsed times accumulate in the result's {!Spike_support.Timer.t}
+    under the stage-name constants below.  When {!Spike_obs.Trace} (resp.
+    {!Spike_obs.Metrics}) collection is enabled, each stage is also
+    recorded as a span — with per-routine sub-spans on the lane of the
+    pool domain that ran them — and the registry accumulates worklist,
+    per-edge-dataflow, PSG-composition and heap-gauge metrics; the
+    [phase1.iterations] / [phase2.iterations] counters match the
+    [phase1_iterations] / [phase2_iterations] fields exactly.  Disabled
+    collection costs one branch per probe. *)
 
 open Spike_support
 open Spike_ir

@@ -39,6 +39,15 @@ type solution = {
 
 type scratch = solution
 
+(* Per-edge dataflow cost counters.  [solve] runs concurrently on pool
+   domains, so these land in Spike_obs' per-domain cells; the counts are
+   accumulated locally and flushed once per solve to keep the sweep loop
+   free of instrumentation. *)
+let c_solves = Spike_obs.Metrics.counter "edge_dataflow.solves"
+let c_sweeps = Spike_obs.Metrics.counter "edge_dataflow.sweeps"
+let c_block_visits = Spike_obs.Metrics.counter "edge_dataflow.block_visits"
+let c_block_updates = Spike_obs.Metrics.counter "edge_dataflow.block_updates"
+
 let create_scratch ~nblocks =
   {
     position = Array.make (max nblocks 1) 0;
@@ -82,9 +91,11 @@ let solve ?scratch ~cfg ~defuse ~rpo_position ~blocks ~sink () =
       !acc
     end
   in
+  let sweeps = ref 0 and updates = ref 0 in
   let changed = ref true in
   while !changed do
     changed := false;
+    incr sweeps;
     Array.iteri
       (fun i b ->
         let next =
@@ -92,10 +103,17 @@ let solve ?scratch ~cfg ~defuse ~rpo_position ~blocks ~sink () =
         in
         if not (sets_equal next ins.(i)) then begin
           ins.(i) <- next;
+          incr updates;
           changed := true
         end)
       blocks
   done;
+  if Spike_obs.Metrics.enabled () then begin
+    Spike_obs.Metrics.incr c_solves;
+    Spike_obs.Metrics.add c_sweeps !sweeps;
+    Spike_obs.Metrics.add c_block_visits (!sweeps * Array.length blocks);
+    Spike_obs.Metrics.add c_block_updates !updates
+  end;
   s
 
 let mem sol b = b < Array.length sol.stamp && sol.stamp.(b) = sol.gen

@@ -15,11 +15,39 @@ let unknown_assumption ~call_def ~call_use =
     ~may_def:Calling_standard.unknown_call_killed
     ~must_def:Calling_standard.unknown_call_defined
 
+(* Observability.  The iteration counter is flushed once from the local
+   total, so the metrics snapshot matches [Analysis.result] exactly; the
+   per-kind pop counters and push counter are bumped in the loop behind
+   the registry's enabled flag. *)
+let c_iterations = Spike_obs.Metrics.counter "phase1.iterations"
+let c_pushes = Spike_obs.Metrics.counter "phase1.worklist.pushes"
+let c_cr_updates = Spike_obs.Metrics.counter "phase1.cr_edge_updates"
+
+let pop_counters =
+  [|
+    Spike_obs.Metrics.counter "phase1.pops.entry";
+    Spike_obs.Metrics.counter "phase1.pops.exit";
+    Spike_obs.Metrics.counter "phase1.pops.call";
+    Spike_obs.Metrics.counter "phase1.pops.return";
+    Spike_obs.Metrics.counter "phase1.pops.branch";
+    Spike_obs.Metrics.counter "phase1.pops.unknown_exit";
+  |]
+
+let kind_index : Psg.node_kind -> int = function
+  | Psg.Entry _ -> 0
+  | Psg.Exit _ -> 1
+  | Psg.Call _ -> 2
+  | Psg.Return _ -> 3
+  | Psg.Branch _ -> 4
+  | Psg.Unknown_exit _ -> 5
+
 let run (psg : Psg.t) =
   let n = Psg.node_count psg in
   let nodes = psg.nodes and edges = psg.edges in
   (* --- Initialization ------------------------------------------------- *)
-  Array.iter
+  let () =
+    Spike_obs.Trace.with_span "phase1.init" @@ fun () ->
+    Array.iter
     (fun (node : Psg.node) ->
       match node.kind with
       | Psg.Exit _ ->
@@ -54,10 +82,14 @@ let run (psg : Psg.t) =
           e.e_may_use <- info.call_use;
           e.e_may_def <- info.call_def;
           e.e_must_def <- Regset.full)
-    psg.calls;
+      psg.calls
+  in
   (* --- Worklist fixpoint ----------------------------------------------- *)
   let worklist = Workset.create n in
-  let push id = Workset.push worklist id in
+  let push id =
+    Spike_obs.Metrics.incr c_pushes;
+    Workset.push worklist id
+  in
   (* Seed with everything that has outgoing edges (sinks are fixed), in
      callee-before-caller routine order and sink-to-source order within a
      routine, so the first sweep already approximates the fixpoint. *)
@@ -108,6 +140,7 @@ let run (psg : Psg.t) =
           && Regset.equal e.e_must_def must_def
         then false
         else begin
+          Spike_obs.Metrics.incr c_cr_updates;
           e.e_may_use <- may_use;
           e.e_may_def <- may_def;
           e.e_must_def <- must_def;
@@ -118,10 +151,14 @@ let run (psg : Psg.t) =
      have no entry node to trigger the first update. *)
   Array.iter (fun info -> ignore (update_cr_edge info)) psg.calls;
   let full = 0xFFFF_FFFF in
-  while not (Workset.is_empty worklist) do
+  let () =
+    Spike_obs.Trace.with_span "phase1.fixpoint" @@ fun () ->
+    while not (Workset.is_empty worklist) do
     let id = Workset.pop worklist in
     incr iterations;
     let node = nodes.(id) in
+    if Spike_obs.Metrics.enabled () then
+      Spike_obs.Metrics.incr pop_counters.(kind_index node.kind);
     let out = psg.out_edges.(id) in
     let n_out = Array.length out in
     if n_out > 0 then begin
@@ -189,5 +226,7 @@ let run (psg : Psg.t) =
         | Psg.Exit _ | Psg.Call _ | Psg.Return _ | Psg.Branch _ | Psg.Unknown_exit _ -> ()
       end
     end
-  done;
+  done
+  in
+  Spike_obs.Metrics.add c_iterations !iterations;
   !iterations

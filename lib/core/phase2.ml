@@ -2,6 +2,30 @@ open Spike_support
 open Spike_isa
 open Spike_ir
 
+(* Observability — same scheme as {!Phase1}: the iteration total is
+   flushed once so it matches [Analysis.result]; pops are attributed to
+   node kinds inside the loop behind the enabled flag. *)
+let c_iterations = Spike_obs.Metrics.counter "phase2.iterations"
+let c_pushes = Spike_obs.Metrics.counter "phase2.worklist.pushes"
+
+let pop_counters =
+  [|
+    Spike_obs.Metrics.counter "phase2.pops.entry";
+    Spike_obs.Metrics.counter "phase2.pops.exit";
+    Spike_obs.Metrics.counter "phase2.pops.call";
+    Spike_obs.Metrics.counter "phase2.pops.return";
+    Spike_obs.Metrics.counter "phase2.pops.branch";
+    Spike_obs.Metrics.counter "phase2.pops.unknown_exit";
+  |]
+
+let kind_index : Psg.node_kind -> int = function
+  | Psg.Entry _ -> 0
+  | Psg.Exit _ -> 1
+  | Psg.Call _ -> 2
+  | Psg.Return _ -> 3
+  | Psg.Branch _ -> 4
+  | Psg.Unknown_exit _ -> 5
+
 let run (psg : Psg.t) =
   let n = Psg.node_count psg in
   let nodes = psg.nodes and edges = psg.edges in
@@ -56,7 +80,10 @@ let run (psg : Psg.t) =
         returns)
     return_links;
   let worklist = Workset.create n in
-  let push id = Workset.push worklist id in
+  let push id =
+    Spike_obs.Metrics.incr c_pushes;
+    Workset.push worklist id
+  in
   (* Liveness flows caller-to-callee: seed callers first (reverse of the
      callee-first order), sinks before sources within each routine. *)
   let nodes_by_routine = Array.make (Program.routine_count program) [] in
@@ -69,10 +96,14 @@ let run (psg : Psg.t) =
     (fun r -> List.iter push nodes_by_routine.(r))
     (List.rev (Psg.callee_first_order psg));
   let iterations = ref 0 in
-  while not (Workset.is_empty worklist) do
-    let id = Workset.pop worklist in
-    incr iterations;
-    let node = nodes.(id) in
+  let () =
+    Spike_obs.Trace.with_span "phase2.fixpoint" @@ fun () ->
+    while not (Workset.is_empty worklist) do
+      let id = Workset.pop worklist in
+      incr iterations;
+      let node = nodes.(id) in
+      if Spike_obs.Metrics.enabled () then
+        Spike_obs.Metrics.incr pop_counters.(kind_index node.kind);
     let live_lo = ref (Regset.lo_bits seed.(id))
     and live_hi = ref (Regset.hi_bits seed.(id)) in
     let out = psg.out_edges.(id) in
@@ -103,5 +134,7 @@ let run (psg : Psg.t) =
       done;
       List.iter push exit_nodes_of_return.(id)
     end
-  done;
+  done
+  in
+  Spike_obs.Metrics.add c_iterations !iterations;
   !iterations

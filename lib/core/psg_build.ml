@@ -251,8 +251,10 @@ let build ?(branch_nodes = true) ?entry_filters ?(externals = fun _ -> None) ?po
   in
   let locals =
     pinit nroutines (fun r ->
-        local_pass ~branch_nodes ~resolve_targets r cfgs.(r) defuses.(r))
+        Spike_obs.Trace.with_span "psg.local_pass" (fun () ->
+            local_pass ~branch_nodes ~resolve_targets r cfgs.(r) defuses.(r)))
   in
+  Spike_obs.Trace.with_span "psg.stitch" @@ fun () ->
   (* Prefix sums assign every routine its contiguous global id ranges —
      the same ids the former single-loop builder handed out. *)
   let node_offset = Array.make (nroutines + 1) 0 in

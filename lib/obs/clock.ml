@@ -1,0 +1,5 @@
+external now_ns : unit -> (int64[@unboxed])
+  = "spike_monotonic_ns_boxed" "spike_monotonic_ns_unboxed"
+[@@noalloc]
+
+let now () = Int64.to_float (now_ns ()) *. 1e-9

@@ -1,0 +1,14 @@
+(** Monotonic time source shared by every layer of the observability
+    stack.
+
+    [Spike_support.Timer], {!Trace} spans and the bench harness all read
+    this clock, so durations from different subsystems are directly
+    comparable and immune to NTP wall-clock adjustments (the previous
+    [Unix.gettimeofday]-based source was only "monotonic enough"). *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary fixed origin ([CLOCK_MONOTONIC]).
+    Allocation-free in native code; only deltas are meaningful. *)
+
+val now : unit -> float
+(** {!now_ns} in seconds. *)

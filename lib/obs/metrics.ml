@@ -1,0 +1,161 @@
+type counter = int
+type gauge = int
+type kind = K_counter | K_gauge
+
+(* The registry: name -> slot index, plus reverse tables.  Guarded by a
+   mutex, but only touched by [counter]/[gauge] (module-initialization
+   time) and by snapshots — never by increments. *)
+let registry_mutex = Mutex.create ()
+let index : (string, int) Hashtbl.t = Hashtbl.create 64
+let names = ref (Array.make 0 "")
+let kinds = ref (Array.make 0 K_counter)
+let count = ref 0
+
+(* Gauges are global last-write-wins cells; counters live in per-domain
+   cell arrays registered here on each domain's first increment. *)
+let gauges = ref (Array.make 0 0.0)
+
+type cells = { mutable a : int array }
+
+let all_cells : cells list ref = ref []
+
+let cells_key : cells Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let c = { a = Array.make (max 16 !count) 0 } in
+      Mutex.lock registry_mutex;
+      all_cells := c :: !all_cells;
+      Mutex.unlock registry_mutex;
+      c)
+
+let register name kind =
+  Mutex.lock registry_mutex;
+  let idx =
+    match Hashtbl.find_opt index name with
+    | Some i ->
+        if !kinds.(i) <> kind then begin
+          Mutex.unlock registry_mutex;
+          invalid_arg
+            (Printf.sprintf "Metrics: %s already registered with another kind" name)
+        end;
+        i
+    | None ->
+        let i = !count in
+        if i = Array.length !names then begin
+          let cap = max 16 (2 * i) in
+          let grow a fill =
+            let a' = Array.make cap fill in
+            Array.blit a 0 a' 0 i;
+            a'
+          in
+          names := grow !names "";
+          kinds := grow !kinds K_counter;
+          gauges := grow !gauges 0.0
+        end;
+        !names.(i) <- name;
+        !kinds.(i) <- kind;
+        Hashtbl.add index name i;
+        incr count;
+        i
+  in
+  Mutex.unlock registry_mutex;
+  idx
+
+let counter name = register name K_counter
+let gauge name = register name K_gauge
+let on = Atomic.make false
+let enabled () = Atomic.get on
+
+let ensure c idx =
+  let n = Array.length c.a in
+  if idx >= n then begin
+    let a' = Array.make (max (idx + 1) (2 * n)) 0 in
+    Array.blit c.a 0 a' 0 n;
+    c.a <- a'
+  end
+
+let add c n =
+  if Atomic.get on then begin
+    let cl = Domain.DLS.get cells_key in
+    ensure cl c;
+    cl.a.(c) <- cl.a.(c) + n
+  end
+
+let incr c = add c 1
+let set_gauge g v = if Atomic.get on then !gauges.(g) <- v
+
+let reset () =
+  Mutex.lock registry_mutex;
+  List.iter (fun c -> Array.fill c.a 0 (Array.length c.a) 0) !all_cells;
+  Array.fill !gauges 0 (Array.length !gauges) 0.0;
+  Mutex.unlock registry_mutex
+
+let enable () =
+  ignore (Domain.DLS.get cells_key);
+  reset ();
+  Atomic.set on true
+
+let disable () = Atomic.set on false
+
+type value = Count of int | Value of float
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let n = !count in
+  let names = Array.sub !names 0 n in
+  let kinds = Array.sub !kinds 0 n in
+  let gauges = Array.sub !gauges 0 n in
+  let cells = !all_cells in
+  Mutex.unlock registry_mutex;
+  let total idx =
+    List.fold_left
+      (fun acc c -> if idx < Array.length c.a then acc + c.a.(idx) else acc)
+      0 cells
+  in
+  List.init n (fun i ->
+      ( names.(i),
+        match kinds.(i) with
+        | K_counter -> Count (total i)
+        | K_gauge -> Value gauges.(i) ))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find snap name = List.assoc_opt name snap
+
+let pp ppf =
+  let snap = snapshot () in
+  let width =
+    List.fold_left (fun w (name, _) -> max w (String.length name)) 0 snap
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Format.fprintf ppf "@ ";
+      match v with
+      | Count n -> Format.fprintf ppf "%-*s %12d" width name n
+      | Value f -> Format.fprintf ppf "%-*s %14.1f" width name f)
+    snap;
+  Format.fprintf ppf "@]"
+
+let write_json oc =
+  let snap = snapshot () in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"spike-metrics/1\",\n  \"metrics\": {";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    \"";
+      (* registered names are plain identifiers/stage names; escape the
+         two characters that could break the quoting anyway *)
+      String.iter
+        (fun c ->
+          match c with
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | c -> Buffer.add_char buf c)
+        name;
+      Buffer.add_string buf "\": ";
+      match v with
+      | Count n -> Buffer.add_string buf (string_of_int n)
+      | Value f -> Buffer.add_string buf (Printf.sprintf "%.1f" f))
+    snap;
+  Buffer.add_string buf "\n  }\n}\n";
+  output_string oc (Buffer.contents buf)

@@ -1,0 +1,51 @@
+(** A process-wide registry of named counters and gauges.
+
+    Counters are monotone integer totals (worklist pushes, fixpoint
+    iterations, dataflow sweeps); gauges are last-written floats (heap
+    samples).  Counter increments go to per-domain cells (domain-local
+    storage) that are summed at {!snapshot} time, so counting from inside
+    a {!Spike_support.Pool} job is race-free, O(1) and contention-free —
+    totals are identical whatever the parallelism degree.
+
+    Collection is off by default; a disabled {!incr}/{!add}/{!set_gauge}
+    is an atomic load and a branch.  Handles should be created once, at
+    module initialization — creation takes a lock, increments do not. *)
+
+type counter
+type gauge
+
+val counter : string -> counter
+(** Find-or-register the counter [name].  Idempotent. *)
+
+val gauge : string -> gauge
+(** Find-or-register the gauge [name].  Idempotent.
+    @raise Invalid_argument if [name] is already registered as a counter
+    (and vice versa for {!counter}). *)
+
+val enable : unit -> unit
+(** Zero every counter and gauge and start collecting. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set_gauge : gauge -> float -> unit
+
+type value = Count of int | Value of float
+
+val snapshot : unit -> (string * value) list
+(** Merged totals (counters summed across domains), sorted by name.
+    Call only while no counting parallel operation is in flight. *)
+
+val find : (string * value) list -> string -> value option
+(** Lookup helper for snapshots. *)
+
+val pp : Format.formatter -> unit
+(** The human [--stats] table: one aligned [name value] row per metric,
+    sorted by name. *)
+
+val write_json : out_channel -> unit
+(** Machine-readable snapshot:
+    [{"schema":"spike-metrics/1","metrics":{name: number, ...}}] with
+    counters as integers and gauges as floats. *)

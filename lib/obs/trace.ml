@@ -1,0 +1,173 @@
+type event = { name : string; lane : int; ts_ns : int64; dur_ns : int64 }
+
+(* Per-domain buffer in structure-of-arrays form: pushing a span writes
+   three slots and bumps a length, with no per-event record allocation. *)
+type buf = {
+  lane : int;
+  mutable names : string array;
+  mutable starts : int64 array;
+  mutable durs : int64 array;
+  mutable len : int;
+}
+
+let registry : buf list ref = ref []
+let registry_mutex = Mutex.create ()
+let next_lane = ref 0
+let on = Atomic.make false
+let epoch = Atomic.make 0L
+
+let new_buf () =
+  Mutex.lock registry_mutex;
+  let lane = !next_lane in
+  incr next_lane;
+  let b =
+    {
+      lane;
+      names = Array.make 256 "";
+      starts = Array.make 256 0L;
+      durs = Array.make 256 0L;
+      len = 0;
+    }
+  in
+  registry := b :: !registry;
+  Mutex.unlock registry_mutex;
+  b
+
+let key : buf Domain.DLS.key = Domain.DLS.new_key new_buf
+let buf () = Domain.DLS.get key
+
+let push b name start dur =
+  let cap = Array.length b.names in
+  if b.len = cap then begin
+    let grow a fill =
+      let a' = Array.make (2 * cap) fill in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    b.names <- grow b.names "";
+    b.starts <- grow b.starts 0L;
+    b.durs <- grow b.durs 0L
+  end;
+  b.names.(b.len) <- name;
+  b.starts.(b.len) <- start;
+  b.durs.(b.len) <- dur;
+  b.len <- b.len + 1
+
+let enabled () = Atomic.get on
+
+let enable () =
+  (* Register the calling domain's buffer before anything else so the
+     enabling domain (the CLI / bench main domain) claims the first free
+     lane of the process. *)
+  ignore (buf ());
+  Mutex.lock registry_mutex;
+  List.iter (fun b -> b.len <- 0) !registry;
+  Mutex.unlock registry_mutex;
+  Atomic.set epoch (Clock.now_ns ());
+  Atomic.set on true
+
+let disable () = Atomic.set on false
+
+let with_span name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Clock.now_ns () in
+        push (buf ()) name (Int64.sub t0 (Atomic.get epoch)) (Int64.sub t1 t0))
+      f
+  end
+
+let events () =
+  Mutex.lock registry_mutex;
+  let bufs = !registry in
+  Mutex.unlock registry_mutex;
+  let evs =
+    List.concat_map
+      (fun b ->
+        List.init b.len (fun i ->
+            {
+              name = b.names.(i);
+              lane = b.lane;
+              ts_ns = b.starts.(i);
+              dur_ns = b.durs.(i);
+            }))
+      bufs
+  in
+  List.sort
+    (fun (a : event) (b : event) ->
+      match Int.compare a.lane b.lane with
+      | 0 -> Int64.compare a.ts_ns b.ts_ns
+      | c -> c)
+    evs
+
+let lane_seconds ~name () =
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun (e : event) ->
+      if String.equal e.name name then begin
+        let secs, count =
+          match Hashtbl.find_opt totals e.lane with
+          | Some (s, c) -> (s, c)
+          | None -> (0.0, 0)
+        in
+        Hashtbl.replace totals e.lane
+          (secs +. (Int64.to_float e.dur_ns *. 1e-9), count + 1)
+      end)
+    (events ());
+  Hashtbl.fold (fun lane (s, c) acc -> (lane, s, c) :: acc) totals []
+  |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+
+(* --- Chrome trace-event export ------------------------------------------ *)
+
+let escape_json buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let us ns = Int64.to_float ns /. 1e3
+
+let chrome_json () =
+  let evs = events () in
+  let lanes =
+    List.sort_uniq Int.compare (List.map (fun (e : event) -> e.lane) evs)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let sep = ref "" in
+  let item fmt =
+    Buffer.add_string buf !sep;
+    sep := ",";
+    Printf.bprintf buf fmt
+  in
+  List.iter
+    (fun lane ->
+      item
+        "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+        lane
+        (if lane = 0 then "main" else Printf.sprintf "domain-%d" lane))
+    lanes;
+  List.iter
+    (fun (e : event) ->
+      Buffer.add_string buf !sep;
+      sep := ",";
+      Buffer.add_string buf "\n{\"name\":\"";
+      escape_json buf e.name;
+      Printf.bprintf buf
+        "\",\"cat\":\"spike\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}"
+        e.lane (us e.ts_ns) (us e.dur_ns))
+    evs;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write_chrome oc = output_string oc (chrome_json ())

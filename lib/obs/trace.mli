@@ -1,0 +1,48 @@
+(** Structured span tracing with per-domain lock-free buffers.
+
+    A span is a named interval of time on one domain.  Each domain owns a
+    private, append-only buffer (domain-local storage), so recording a
+    span under a {!Spike_support.Pool} costs no synchronization — the
+    only lock is taken once per domain, to register its buffer.  Buffers
+    are merged when the trace is read out.
+
+    Tracing is off by default; a disabled {!with_span} is a single atomic
+    load and a branch, so instrumentation can stay in hot paths
+    permanently.  {!enable} and {!disable} must be called while no traced
+    parallel operation is in flight (between pool jobs, not during). *)
+
+type event = {
+  name : string;
+  lane : int;  (** stable per-domain lane id, in domain-registration order *)
+  ts_ns : int64;  (** span start, relative to the {!enable} call *)
+  dur_ns : int64;
+}
+
+val enable : unit -> unit
+(** Clear all buffers, restart the epoch, and start recording. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()]; when tracing is enabled the interval
+    is recorded on the calling domain's lane (also when [f] raises).
+    [name] should be a static string — it is stored by reference. *)
+
+val events : unit -> event list
+(** All recorded events, merged across domains, ordered by lane then
+    start time.  Call only while no traced operation is in flight. *)
+
+val lane_seconds : name:string -> unit -> (int * float * int) list
+(** [(lane, busy_seconds, span_count)] per lane, summed over events named
+    [name] — e.g. [~name:"pool.chunk"] gives the per-domain busy time of
+    the parallel front-end.  Sorted by lane. *)
+
+val chrome_json : unit -> string
+(** The trace as Chrome trace-event JSON ([chrome://tracing] and Perfetto
+    both load it): one complete ("X") event per span, microsecond
+    timestamps, [pid] 1, one [tid] lane per domain, plus [thread_name]
+    metadata naming each lane. *)
+
+val write_chrome : out_channel -> unit
+(** {!chrome_json} to a channel. *)

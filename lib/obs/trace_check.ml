@@ -1,0 +1,273 @@
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+(* --- A minimal recursive-descent JSON parser ---------------------------- *)
+
+type state = { s : string; mutable pos : int }
+
+let error st msg = raise (Bad (Printf.sprintf "at byte %d: %s" st.pos msg))
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let next st =
+  match peek st with
+  | Some c ->
+      st.pos <- st.pos + 1;
+      c
+  | None -> error st "unexpected end of input"
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      st.pos <- st.pos + 1;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  let got = next st in
+  if got <> c then error st (Printf.sprintf "expected %c, got %c" c got)
+
+let literal st word value =
+  String.iter (fun c -> expect st c) word;
+  value
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match next st with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+        match next st with
+        | '"' -> Buffer.add_char buf '"'; loop ()
+        | '\\' -> Buffer.add_char buf '\\'; loop ()
+        | '/' -> Buffer.add_char buf '/'; loop ()
+        | 'b' -> Buffer.add_char buf '\b'; loop ()
+        | 'f' -> Buffer.add_char buf '\012'; loop ()
+        | 'n' -> Buffer.add_char buf '\n'; loop ()
+        | 'r' -> Buffer.add_char buf '\r'; loop ()
+        | 't' -> Buffer.add_char buf '\t'; loop ()
+        | 'u' ->
+            let hex = String.init 4 (fun _ -> next st) in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | None -> error st "bad \\u escape"
+            | Some code ->
+                (* Good enough for validation: keep the BMP code point as
+                   a byte when it fits, else a placeholder. *)
+                Buffer.add_char buf
+                  (if code < 0x80 then Char.chr code else '?'));
+            loop ()
+        | c -> error st (Printf.sprintf "bad escape \\%c" c))
+    | c -> Buffer.add_char buf c; loop ()
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c -> is_num_char c | None -> false) do
+    st.pos <- st.pos + 1
+  done;
+  match float_of_string_opt (String.sub st.s start (st.pos - start)) with
+  | Some f -> f
+  | None -> error st "bad number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some '{' ->
+      expect st '{';
+      skip_ws st;
+      if peek st = Some '}' then (ignore (next st); Obj [])
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws st;
+          let key = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          fields := (key, v) :: !fields;
+          skip_ws st;
+          match next st with
+          | ',' -> members ()
+          | '}' -> ()
+          | c -> error st (Printf.sprintf "expected , or } in object, got %c" c)
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      expect st '[';
+      skip_ws st;
+      if peek st = Some ']' then (ignore (next st); Arr [])
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value st in
+          items := v :: !items;
+          skip_ws st;
+          match next st with
+          | ',' -> elements ()
+          | ']' -> ()
+          | c -> error st (Printf.sprintf "expected , or ] in array, got %c" c)
+        in
+        elements ();
+        Arr (List.rev !items)
+      end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some _ -> Num (parse_number st)
+
+let parse s =
+  let st = { s; pos = 0 } in
+  try
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length s then Error "trailing garbage after document"
+    else Ok v
+  with Bad msg -> Error msg
+
+(* --- Trace validation ---------------------------------------------------- *)
+
+type summary = { events : int; lanes : int; names : string list }
+
+let field obj name =
+  match obj with
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let require_num ev name =
+  match field ev name with
+  | Some (Num f) -> f
+  | _ -> raise (Bad (Printf.sprintf "event missing numeric %S" name))
+
+let require_str ev name =
+  match field ev name with
+  | Some (Str s) -> s
+  | _ -> raise (Bad (Printf.sprintf "event missing string %S" name))
+
+let validate_trace s =
+  match parse s with
+  | Error e -> Error ("trace is not valid JSON: " ^ e)
+  | Ok doc -> (
+      try
+        let events =
+          match field doc "traceEvents" with
+          | Some (Arr evs) -> evs
+          | _ -> raise (Bad "top-level object has no traceEvents array")
+        in
+        (* lane -> reverse-ordered spans (ts, dur); lane -> begin stack *)
+        let spans = Hashtbl.create 8 in
+        let begins = Hashtbl.create 8 in
+        let span_names = Hashtbl.create 8 in
+        List.iter
+          (fun ev ->
+            let name = require_str ev "name" in
+            let ph = require_str ev "ph" in
+            ignore (require_num ev "pid");
+            let tid = int_of_float (require_num ev "tid") in
+            match ph with
+            | "M" -> ()
+            | "X" ->
+                let ts = require_num ev "ts" in
+                let dur = require_num ev "dur" in
+                if dur < 0.0 then raise (Bad (name ^ ": negative dur"));
+                Hashtbl.replace span_names name ();
+                Hashtbl.replace spans tid
+                  ((ts, dur)
+                  :: (Option.value ~default:[] (Hashtbl.find_opt spans tid)))
+            | "B" ->
+                Hashtbl.replace begins tid
+                  (name :: Option.value ~default:[] (Hashtbl.find_opt begins tid))
+            | "E" -> (
+                match Hashtbl.find_opt begins tid with
+                | Some (_ :: rest) -> Hashtbl.replace begins tid rest
+                | Some [] | None ->
+                    raise (Bad (name ^ ": E event without matching B")))
+            | ph -> raise (Bad (Printf.sprintf "%s: unsupported phase %S" name ph)))
+          events;
+        Hashtbl.iter
+          (fun tid stack ->
+            if stack <> [] then
+              raise
+                (Bad (Printf.sprintf "lane %d: %d B events without matching E"
+                        tid (List.length stack))))
+          begins;
+        (* X spans per lane must be properly nested: sorted by start (ties:
+           longest first), each span either nests inside the enclosing one
+           or starts at/after its end.  Partial overlap is malformed. *)
+        let nested = ref 0 in
+        Hashtbl.iter
+          (fun tid spans ->
+            let spans =
+              List.sort
+                (fun (ts1, d1) (ts2, d2) ->
+                  match Float.compare ts1 ts2 with
+                  | 0 -> Float.compare d2 d1
+                  | c -> c)
+                spans
+            in
+            let stack = ref [] in
+            List.iter
+              (fun (ts, dur) ->
+                let fin = ts +. dur in
+                while
+                  match !stack with
+                  | (_, top_end) :: rest when ts >= top_end ->
+                      stack := rest;
+                      true
+                  | _ -> false
+                do
+                  ()
+                done;
+                (match !stack with
+                | (top_ts, top_end) :: _ ->
+                    if ts < top_ts || fin > top_end then
+                      raise
+                        (Bad
+                           (Printf.sprintf
+                              "lane %d: span [%f, %f] partially overlaps [%f, %f]"
+                              tid ts fin top_ts top_end))
+                | [] -> ());
+                stack := (ts, fin) :: !stack;
+                incr nested)
+              spans)
+          spans;
+        let names =
+          List.sort String.compare
+            (Hashtbl.fold (fun n () acc -> n :: acc) span_names [])
+        in
+        Ok { events = !nested; lanes = Hashtbl.length spans; names }
+      with Bad msg -> Error msg)
+
+(* --- Metrics validation -------------------------------------------------- *)
+
+let validate_metrics s =
+  match parse s with
+  | Error e -> Error ("metrics file is not valid JSON: " ^ e)
+  | Ok doc -> (
+      match field doc "schema" with
+      | Some (Str "spike-metrics/1") -> (
+          match field doc "metrics" with
+          | Some (Obj fields) -> (
+              let rec collect acc = function
+                | [] -> Ok (List.sort (fun (a, _) (b, _) -> String.compare a b) acc)
+                | (name, Num f) :: rest -> collect ((name, f) :: acc) rest
+                | (name, _) :: _ -> Error (name ^ ": metric value is not a number")
+              in
+              collect [] fields)
+          | _ -> Error "no metrics object")
+      | _ -> Error "schema is not spike-metrics/1")

@@ -1,0 +1,32 @@
+(** Validation of the exported artifacts — used by the test suite and by
+    the [tools/check_trace] CI smoke checker.
+
+    Ships its own minimal JSON parser so the validator (and the CI job
+    that runs it) needs no dependency beyond this library. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val parse : string -> (json, string) result
+(** Parse a complete JSON document ([Error] carries position + reason). *)
+
+type summary = {
+  events : int;  (** complete ("X") span events *)
+  lanes : int;  (** distinct [tid]s carrying spans *)
+  names : string list;  (** distinct span names, sorted *)
+}
+
+val validate_trace : string -> (summary, string) result
+(** Check that [s] is a Chrome trace-event document: a [traceEvents]
+    array whose events carry [name]/[ph]/[pid]/[tid] (+ [ts]/[dur] for
+    spans); every "B" has a matching "E" per lane; "X" spans on a lane
+    are properly nested (no partial overlap). *)
+
+val validate_metrics : string -> ((string * float) list, string) result
+(** Check that [s] is a [spike-metrics/1] document and return its
+    metrics, sorted by name. *)

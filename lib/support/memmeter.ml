@@ -11,4 +11,8 @@ let measure f =
   let after = live_bytes () in
   (result, max 0 (after - before))
 
+let sample_bytes () =
+  let s = Gc.quick_stat () in
+  s.Gc.heap_words * word_bytes
+
 let megabytes bytes = float_of_int bytes /. (1024.0 *. 1024.0)

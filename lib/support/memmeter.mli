@@ -14,5 +14,11 @@ val measure : (unit -> 'a) -> 'a * int
 (** [measure f] is [(f (), bytes)] where [bytes] is the growth in live heap
     retained by [f]'s result (non-negative). *)
 
+val sample_bytes : unit -> int
+(** Bytes of major heap right now, from [Gc.quick_stat] — no collection,
+    no heap walk, so it is cheap enough to sample from inside spans and
+    stage boundaries for continuous heap gauges.  An upper bound of
+    {!live_bytes} (it counts the heap footprint, garbage included). *)
+
 val megabytes : int -> float
 (** Bytes to MB, for reporting alongside the paper's numbers. *)

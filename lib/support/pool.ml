@@ -24,6 +24,15 @@ type t = {
 let default_jobs () = max 1 (min 16 (Domain.recommended_domain_count ()))
 let jobs t = t.n_jobs
 
+(* Observability: every claimed chunk becomes one span on the lane of the
+   domain that executed it — that is what makes the parallel front-end's
+   per-domain utilization visible in a Chrome trace — and the item/chunk
+   counters let jobs=1 and jobs=N runs be compared (item totals are
+   partition-invariant; chunk totals are not). *)
+let span_chunk = "pool.chunk"
+let c_items = Spike_obs.Metrics.counter "pool.items"
+let c_chunks = Spike_obs.Metrics.counter "pool.chunks"
+
 let rec worker_loop t last_generation =
   Mutex.lock t.mutex;
   while (not t.stop) && t.generation = last_generation do
@@ -74,10 +83,14 @@ let with_pool ~jobs f =
 (* Run [body i] for every [i] in [0 .. n - 1], distributed over the pool. *)
 let run t n body =
   if n = 0 then ()
-  else if t.n_jobs = 1 || n = 1 then
-    for i = 0 to n - 1 do
-      body i
-    done
+  else if t.n_jobs = 1 || n = 1 then begin
+    Spike_obs.Metrics.add c_items n;
+    Spike_obs.Metrics.incr c_chunks;
+    Spike_obs.Trace.with_span span_chunk (fun () ->
+        for i = 0 to n - 1 do
+          body i
+        done)
+  end
   else begin
     let next = Atomic.make 0 in
     let error = Atomic.make None in
@@ -93,10 +106,13 @@ let run t n body =
           if start >= n then continue := false
           else
             let stop = min n (start + chunk) in
+            Spike_obs.Metrics.add c_items (stop - start);
+            Spike_obs.Metrics.incr c_chunks;
             try
-              for i = start to stop - 1 do
-                body i
-              done
+              Spike_obs.Trace.with_span span_chunk (fun () ->
+                  for i = start to stop - 1 do
+                    body i
+                  done)
             with e ->
               let bt = Printexc.get_raw_backtrace () in
               ignore (Atomic.compare_and_set error None (Some (e, bt)))
@@ -123,7 +139,13 @@ let run t n body =
 
 let parallel_init t n f =
   if n = 0 then [||]
-  else if t.n_jobs = 1 || n = 1 then Array.init n f
+  else if t.n_jobs = 1 || n = 1 then begin
+    (* Mirrors [run]'s sequential path so item totals and chunk spans are
+       recorded whatever the degree, without boxing the results. *)
+    Spike_obs.Metrics.add c_items n;
+    Spike_obs.Metrics.incr c_chunks;
+    Spike_obs.Trace.with_span span_chunk (fun () -> Array.init n f)
+  end
   else begin
     let results = Array.make n None in
     run t n (fun i -> results.(i) <- Some (f i));

@@ -21,7 +21,13 @@
     The user-supplied functions run concurrently on several domains; they
     must not share unsynchronized mutable state.  All functions of this
     module except {!parallel_map_array} and {!parallel_init} themselves
-    must be called from the domain that created the pool. *)
+    must be called from the domain that created the pool.
+
+    When {!Spike_obs.Trace} is enabled, every executed chunk is recorded
+    as a ["pool.chunk"] span on the executing domain's lane, and the
+    ["pool.items"] / ["pool.chunks"] counters accumulate when
+    {!Spike_obs.Metrics} is enabled.  Item totals are identical for every
+    [jobs] value; chunk totals depend on the partition. *)
 
 type t
 

@@ -4,7 +4,7 @@ type t = {
 }
 
 let create () = { totals = Hashtbl.create 8; order = Vec.create () }
-let now () = Unix.gettimeofday ()
+let now () = Spike_obs.Clock.now ()
 
 let bucket t stage =
   match Hashtbl.find_opt t.totals stage with

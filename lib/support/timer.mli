@@ -1,4 +1,4 @@
-(** Wall-clock stage timing.
+(** Elapsed-time stage accumulation.
 
     The paper reports the fraction of total analysis time spent in each of
     five stages (CFG build, initialization, PSG build, phase 1, phase 2;
@@ -11,9 +11,9 @@ type t
 val create : unit -> t
 
 val record : t -> string -> (unit -> 'a) -> 'a
-(** [record t stage f] runs [f ()], adding its wall-clock duration to
-    [stage]'s accumulated total.  Wall-clock is the right attribution for
-    stages that fan out over a {!Pool}: a parallel stage reports its
+(** [record t stage f] runs [f ()], adding its elapsed duration to
+    [stage]'s accumulated total.  Elapsed time is the right attribution
+    for stages that fan out over a {!Pool}: a parallel stage reports its
     elapsed time, not CPU time summed over domains. *)
 
 val add : t -> string -> float -> unit
@@ -31,4 +31,7 @@ val stages : t -> (string * float) list
 val reset : t -> unit
 
 val now : unit -> float
-(** Wall-clock seconds (monotonic enough for benchmarking deltas). *)
+(** Monotonic seconds ({!Spike_obs.Clock.now}, i.e. [CLOCK_MONOTONIC]) —
+    the same source {!Spike_obs.Trace} spans use, so stage totals and
+    trace spans are directly comparable, and deltas are safe under NTP
+    wall-clock adjustment.  Only deltas are meaningful. *)

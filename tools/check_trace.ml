@@ -1,0 +1,43 @@
+(* CI smoke checker for the observability exporters.
+
+   check_trace TRACE.json [--metrics METRICS.json]
+
+   Validates that TRACE.json is a well-formed Chrome trace-event file
+   (parseable JSON, required fields on every event, matched begin/end,
+   properly nested complete events per lane) and, when given, that
+   METRICS.json matches the spike-metrics/1 schema.  Prints a one-line
+   summary per file and exits non-zero on the first problem — small
+   enough to run on every CI push. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fail fmt = Format.kasprintf (fun msg -> prerr_endline msg; exit 1) fmt
+
+let check_trace path =
+  let text = try read_file path with Sys_error msg -> fail "check_trace: %s" msg in
+  match Spike_obs.Trace_check.validate_trace text with
+  | Error msg -> fail "check_trace: %s: %s" path msg
+  | Ok s ->
+      Printf.printf "%s: ok (%d events, %d lanes, %d span names)\n" path
+        s.Spike_obs.Trace_check.events s.Spike_obs.Trace_check.lanes
+        (List.length s.Spike_obs.Trace_check.names)
+
+let check_metrics path =
+  let text = try read_file path with Sys_error msg -> fail "check_trace: %s" msg in
+  match Spike_obs.Trace_check.validate_metrics text with
+  | Error msg -> fail "check_trace: %s: %s" path msg
+  | Ok metrics -> Printf.printf "%s: ok (%d metrics)\n" path (List.length metrics)
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; trace ] -> check_trace trace
+  | [ _; trace; "--metrics"; metrics ] ->
+      check_trace trace;
+      check_metrics metrics
+  | _ ->
+      prerr_endline "usage: check_trace TRACE.json [--metrics METRICS.json]";
+      exit 2
