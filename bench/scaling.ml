@@ -77,13 +77,164 @@ let measure ~scale =
           List.map (fun jobs -> measure_point ~workload:name ~program jobs) jobs_list)
     workload_names
 
+(* --- The persistent-store warm-start study ------------------------------ *)
+
+(* How much of a re-analysis the summary store saves, as a function of how
+   much of the program an edit dirtied.  The workload is analysed cold and
+   persisted once; each sweep point then mutates k routines (bumping an
+   immediate, which changes the fingerprint without changing the program
+   shape) and re-analyses warm, along both store paths:
+
+   - warm_ms: disk — Store.load + analysis, what a fresh process pays.
+     Bounded below by decoding the artifact graph back into boxed records
+     (allocation + write-barrier bound, see DESIGN.md), so it flattens
+     out well above the pure analysis cost.
+   - warm_mem_ms: resident — Store.replan from a retained session +
+     analysis, what a watch-mode driver that keeps the previous run alive
+     pays.  Skips the decode entirely; only re-fingerprinting and the
+     cone re-analysis remain.
+
+   Both exclude the re-save. *)
+
+type store_point = {
+  dirty_routines : int;
+  dirty_fraction : float;
+  warm_ms : float;
+  speedup : float;
+  warm_mem_ms : float;
+  mem_speedup : float;
+}
+
+type store_study = {
+  store_workload : string;
+  cold_ms : float;
+  sweep : store_point list;
+}
+
+let dirty_fractions = [ 0.0; 0.001; 0.01; 0.05; 0.25 ]
+
+let mutate_routine (r : Spike_ir.Routine.t) =
+  let insns = Array.copy r.Spike_ir.Routine.insns in
+  let rec go i =
+    if i >= Array.length insns then false
+    else
+      match insns.(i) with
+      | Spike_isa.Insn.Li { dst; imm } ->
+          insns.(i) <- Spike_isa.Insn.Li { dst; imm = imm + 1 };
+          true
+      | Spike_isa.Insn.Lda { dst; base; offset } ->
+          insns.(i) <- Spike_isa.Insn.Lda { dst; base; offset = offset + 1 };
+          true
+      | _ -> go (i + 1)
+  in
+  if go 0 then { r with Spike_ir.Routine.insns } else r
+
+(* Mutate [k] routines spread evenly across the program; returns the
+   program and how many actually changed (a routine with no immediate to
+   bump stays clean). *)
+let mutate_program program k =
+  let routines = Spike_ir.Program.routines program in
+  let n = Array.length routines in
+  let k = min k n in
+  let step = if k = 0 then n + 1 else max 1 (n / k) in
+  let changed = ref 0 in
+  let mutated =
+    Array.mapi
+      (fun i r ->
+        if k > 0 && i mod step = 0 && i / step < k then begin
+          let r' = mutate_routine r in
+          if r' != r then incr changed;
+          r'
+        end
+        else r)
+      routines
+  in
+  (Spike_ir.Program.make ~main:(Spike_ir.Program.main program)
+     (Array.to_list mutated),
+   !changed)
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+let best_of_ms runs f =
+  let best = ref infinity in
+  let value = ref None in
+  for _ = 1 to runs do
+    let v, ms = time_ms f in
+    if ms < !best then best := ms;
+    value := Some v
+  done;
+  (Option.get !value, !best)
+
+let measure_store ~workload ~program =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "spike-store-bench-%d" (Unix.getpid ()))
+  in
+  let jobs = 1 in
+  let cold_baseline, cold_ms =
+    best_of_ms 3 (fun () -> Analysis.run ~jobs program)
+  in
+  let captured = Analysis.run ~jobs ~capture:true program in
+  Spike_store.Store.save ~dir captured;
+  let session = Spike_store.Store.retain captured in
+  let checked = ref false in
+  let sweep =
+    List.filter_map
+      (fun f ->
+        let k =
+          int_of_float (Float.round (f *. float_of_int (Spike_ir.Program.routine_count program)))
+        in
+        let k = if f > 0.0 then max 1 k else 0 in
+        let mutated, dirty_routines = mutate_program program k in
+        let analysis, warm_ms =
+          best_of_ms 3 (fun () ->
+              let loaded = Spike_store.Store.load ~dir mutated in
+              Analysis.run ~jobs ~warm:loaded.Spike_store.Store.plan mutated)
+        in
+        let analysis_mem, warm_mem_ms =
+          best_of_ms 3 (fun () ->
+              let replanned = Spike_store.Store.replan session mutated in
+              Analysis.run ~jobs ~warm:replanned.Spike_store.Store.plan mutated)
+        in
+        (* Sanity: a warm re-analysis of the unmutated program must
+           reproduce the cold summaries bit for bit, on both paths. *)
+        if dirty_routines = 0 && not !checked then begin
+          checked := true;
+          assert (analysis.Analysis.summaries = cold_baseline.Analysis.summaries);
+          assert (
+            analysis_mem.Analysis.summaries = cold_baseline.Analysis.summaries)
+        end;
+        Some
+          {
+            dirty_routines;
+            dirty_fraction =
+              float_of_int dirty_routines
+              /. float_of_int (Spike_ir.Program.routine_count program);
+            warm_ms;
+            speedup = (if warm_ms > 0.0 then cold_ms /. warm_ms else 0.0);
+            warm_mem_ms;
+            mem_speedup =
+              (if warm_mem_ms > 0.0 then cold_ms /. warm_mem_ms else 0.0);
+          })
+      dirty_fractions
+  in
+  (try
+     Sys.remove (Filename.concat dir Spike_store.Store.file_name);
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error (_, _, _) -> ());
+  { store_workload = workload; cold_ms; sweep }
+
 (* --- BENCH_psg.json ----------------------------------------------------- *)
 
-let json_of_points buf ~scale points =
+let json_of_points buf ~scale points stores =
   let field_sep = ref "" in
   let addf fmt = Printf.bprintf buf fmt in
   addf "{\n";
-  addf "  \"schema\": \"spike-bench-psg/2\",\n";
+  addf "  \"schema\": \"spike-bench-psg/3\",\n";
   addf "  \"scale\": %.4f,\n" scale;
   addf "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
   addf "  \"points\": [";
@@ -112,11 +263,31 @@ let json_of_points buf ~scale points =
       addf " \"phase1_iterations\": %d, \"phase2_iterations\": %d }" p.phase1_iterations
         p.phase2_iterations)
     points;
+  addf "\n  ],\n";
+  addf "  \"store\": [";
+  let store_sep = ref "" in
+  List.iter
+    (fun s ->
+      addf "%s\n    { \"workload\": \"%s\", \"cold_ms\": %.3f, \"sweep\": ["
+        !store_sep s.store_workload s.cold_ms;
+      store_sep := ",";
+      List.iteri
+        (fun i p ->
+          addf
+            "%s{ \"dirty_routines\": %d, \"dirty_fraction\": %.4f, \
+             \"warm_ms\": %.3f, \"speedup\": %.2f, \"warm_mem_ms\": %.3f, \
+             \"mem_speedup\": %.2f }"
+            (if i = 0 then " " else ", ")
+            p.dirty_routines p.dirty_fraction p.warm_ms p.speedup p.warm_mem_ms
+            p.mem_speedup)
+        s.sweep;
+      addf " ] }")
+    stores;
   addf "\n  ]\n}\n"
 
-let write_json path ~scale points =
+let write_json path ~scale points stores =
   let buf = Buffer.create 4096 in
-  json_of_points buf ~scale points;
+  json_of_points buf ~scale points stores;
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -130,6 +301,21 @@ let print ?(json_path = "BENCH_psg.json") ppf ~scale () =
     "(workloads generated once and re-analysed per jobs setting; phases 1-2 \
      stay sequential; this machine recommends %d domains)@."
     (Domain.recommended_domain_count ());
+  (* The store study runs first, on a clean heap: timed after the scaling
+     sweep it would inherit that sweep's major heap, and the GC marking
+     tax inflates every allocation-heavy run by 2-3x on this box — a
+     fresh process re-running analyze is the shape being modelled. *)
+  let stores =
+    List.filter_map
+      (fun name ->
+        match Calibrate.find name with
+        | None -> None
+        | Some row ->
+            let program = Generator.generate (Calibrate.params_of ~scale row) in
+            Some (measure_store ~workload:name ~program))
+      [ "gcc" ]
+  in
+  Gc.compact ();
   let points = measure ~scale in
   let by_workload =
     List.filter
@@ -153,5 +339,25 @@ let print ?(json_path = "BENCH_psg.json") ppf ~scale () =
         ps;
       Format.fprintf ppf "%s@." (String.make 78 '-'))
     by_workload;
-  write_json json_path ~scale points;
+  Format.fprintf ppf "@.=== Warm-start re-analysis through the summary store@.";
+  Format.fprintf ppf
+    "(store written once, then k routines mutated and re-analysed warm; \
+     disk = store load + analysis, mem = in-process replan + analysis)@.";
+  Format.fprintf ppf "%s@." (String.make 78 '-');
+  Format.fprintf ppf "%-10s %8s %8s %9s %8s %9s %8s@." "workload" "dirty" "frac"
+    "disk(ms)" "speedup" "mem(ms)" "speedup";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%-10s %8s %8s %9.2f %8s %9s %8s@." s.store_workload
+        "cold" "-" s.cold_ms "1.00x" "-" "-";
+      List.iter
+        (fun p ->
+          Format.fprintf ppf "%-10s %8d %7.2f%% %9.2f %7.2fx %9.2f %7.2fx@."
+            s.store_workload p.dirty_routines
+            (100.0 *. p.dirty_fraction)
+            p.warm_ms p.speedup p.warm_mem_ms p.mem_speedup)
+        s.sweep;
+      Format.fprintf ppf "%s@." (String.make 78 '-'))
+    stores;
+  write_json json_path ~scale points stores;
   Format.fprintf ppf "wrote %s@." json_path

@@ -43,15 +43,66 @@ let branch_nodes_arg =
     & info [ "branch-nodes" ] ~docv:"BOOL"
         ~doc:"Insert PSG branch nodes at multiway branches (§3.6).")
 
+(* --jobs takes its own conv so that 0 or a negative count is a crisp
+   cmdliner usage error instead of being silently clamped. *)
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "expected a count of at least 1, got %d" n))
+    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
 let jobs_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some positive_int) None
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Domains for the per-routine analysis stages (default: the \
-           machine's recommended domain count).  Results are identical for \
-           every value.")
+           machine's recommended domain count; must be at least 1).  Results \
+           are identical for every value.")
+
+(* --- Persistent summary store (shared by analyze/opt) -------------------- *)
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Persistent summary store directory.  Cached per-routine artifacts \
+           warm-start the analysis (results are bit-identical to a cold \
+           run); the store is refreshed after the analysis.  A missing, \
+           stale or corrupt store silently degrades to a cold run.")
+
+let no_store_arg =
+  Arg.(
+    value & flag
+    & info [ "no-store" ]
+        ~doc:"Ignore $(b,--store): neither read nor write the summary store.")
+
+(* Analysis through the store: load a warm plan, analyse, refresh the
+   store.  One stderr line summarises what the store contributed. *)
+let run_analysis ~store ~no_store ~branch_nodes ~externals ?jobs program =
+  let store = if no_store then None else store in
+  match store with
+  | None -> Analysis.run ~branch_nodes ~externals ?jobs program
+  | Some dir ->
+      let loaded = Spike_store.Store.load ~dir ~branch_nodes ~externals program in
+      let analysis =
+        Analysis.run ~branch_nodes ~externals ?jobs
+          ~warm:loaded.Spike_store.Store.plan ~capture:true program
+      in
+      Spike_store.Store.save ~dir analysis;
+      Format.eprintf "store: hits=%d misses=%d invalidated=%d%s@."
+        loaded.Spike_store.Store.hits loaded.Spike_store.Store.misses
+        loaded.Spike_store.Store.invalidated
+        (match loaded.Spike_store.Store.degraded with
+        | Some _ -> " (degraded to cold)"
+        | None -> "");
+      analysis
 
 (* --- Observability flags (shared by analyze/opt/run/dump) --------------- *)
 
@@ -132,19 +183,36 @@ let obs_term =
 (* --- analyze ----------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run file branch_nodes verbose externals jobs obs =
+  let run file branch_nodes verbose externals jobs store no_store summaries_out
+      obs =
     (* --verbose is the ergonomic spelling of --stats: one detailed view,
        the metrics table, instead of a separate ad-hoc dump. *)
     if verbose then obs_force_stats obs;
+    let summaries_oc =
+      Option.map
+        (fun p -> (p, open_out_or_die ~flag:"summaries-out" p))
+        summaries_out
+    in
     let program = load_program file in
     let analysis =
-      Analysis.run ~branch_nodes ~externals:(load_externals externals) ?jobs program
+      run_analysis ~store ~no_store ~branch_nodes
+        ~externals:(load_externals externals) ?jobs program
     in
     Format.printf "%a@." Analysis.pp_times analysis;
     Format.printf "%a@." Psg_stats.pp (Psg_stats.of_psg analysis.Analysis.psg);
     Array.iter
       (fun summary -> Format.printf "@.%a@." Summary.pp summary)
       analysis.Analysis.summaries;
+    (match summaries_oc with
+    | Some (path, oc) ->
+        let ppf = Format.formatter_of_out_channel oc in
+        Array.iter
+          (fun summary -> Format.fprintf ppf "%a@." Summary.pp summary)
+          analysis.Analysis.summaries;
+        Format.pp_print_flush ppf ();
+        close_out oc;
+        Format.printf "wrote %s@." path
+    | None -> ());
     obs_finish obs
   in
   let verbose =
@@ -153,21 +221,31 @@ let analyze_cmd =
       & info [ "v"; "verbose" ]
           ~doc:"Also print the metrics table (same as $(b,--stats)).")
   in
+  let summaries_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summaries-out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the routine summaries (and nothing else) to \
+             $(docv) — a deterministic dump, diffable across runs.")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Compute interprocedural register summaries")
     Term.(
       const run $ file_arg $ branch_nodes_arg $ verbose $ externals_arg $ jobs_arg
-      $ obs_term)
+      $ store_arg $ no_store_arg $ summaries_out $ obs_term)
 
 (* --- opt --------------------------------------------------------------- *)
 
 let opt_cmd =
-  let run file output externals jobs obs =
+  let run file output externals jobs store no_store obs =
     let program = load_program file in
     let optimized, report =
       Spike_obs.Trace.with_span "opt.run" (fun () ->
           Spike_opt.Opt.run
-            (Analysis.run ~externals:(load_externals externals) ?jobs program))
+            (run_analysis ~store ~no_store ~branch_nodes:true
+               ~externals:(load_externals externals) ?jobs program))
     in
     Format.printf "%a@." Spike_opt.Opt.pp_report report;
     (match output with
@@ -185,7 +263,9 @@ let opt_cmd =
   in
   Cmd.v
     (Cmd.info "opt" ~doc:"Apply the summary-driven optimizations (Figure 1)")
-    Term.(const run $ file_arg $ output $ externals_arg $ jobs_arg $ obs_term)
+    Term.(
+      const run $ file_arg $ output $ externals_arg $ jobs_arg $ store_arg
+      $ no_store_arg $ obs_term)
 
 (* --- run --------------------------------------------------------------- *)
 

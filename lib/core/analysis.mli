@@ -36,6 +36,10 @@ type t = {
   externals : string -> Psg.external_class option;
   callee_saved_filter : bool;
   jobs : int;  (** parallelism degree the front-end stages ran with *)
+  reused_routines : int;
+      (** routines whose front-end artifacts came from the warm plan *)
+  warm_capture : Warm.routine_art array option;
+      (** per-routine artifacts of this run, when [capture] was requested *)
 }
 
 val stage_cfg_build : string
@@ -49,6 +53,8 @@ val run :
   ?externals:(string -> Psg.external_class option) ->
   ?callee_saved_filter:bool ->
   ?jobs:int ->
+  ?warm:Warm.plan ->
+  ?capture:bool ->
   Program.t ->
   t
 (** Analyse a whole program.  [branch_nodes] (default [true]) controls
@@ -68,7 +74,19 @@ val run :
     global fixpoints and always sequential.  With [jobs > 1], [externals]
     is called concurrently and must be thread-safe.  Stage times recorded
     in [timer] are wall-clock, so a parallel stage reports its elapsed
-    time, not the sum over domains. *)
+    time, not the sum over domains.
+
+    [warm] supplies a {!Warm.plan} of per-routine artifacts from an
+    earlier run of the {e same} program configuration (modulo the edits
+    that dirtied some routines): clean routines skip CFG build,
+    initialization and the PSG local pass, and both phases re-converge
+    only their invalidation cones.  Results are guaranteed bit-identical
+    to a cold run; an all-cold plan {!Warm.cold} {e is} a cold run.  The
+    caller is responsible for only reusing artifacts whose inputs are
+    unchanged — that is what {!Spike_store} fingerprints enforce.
+
+    [capture] (default [false]) additionally snapshots this run's
+    per-routine artifacts into [warm_capture], ready to persist. *)
 
 val rerun : t -> Program.t -> t
 (** Re-analyse a transformed program under the same configuration

@@ -41,47 +41,84 @@ let kind_index : Psg.node_kind -> int = function
   | Psg.Branch _ -> 4
   | Psg.Unknown_exit _ -> 5
 
-let run (psg : Psg.t) =
+type warm = {
+  cone : bool array;
+  restore : int array;  (** packed, 6 words per node *)
+  cr_restore : int array;  (** packed, 6 words per call *)
+}
+
+let cold_init (node : Psg.node) =
+  match node.kind with
+  | Psg.Exit _ ->
+      node.may_use <- Regset.empty;
+      node.may_def <- Regset.empty;
+      node.must_def <- Regset.empty
+  | Psg.Unknown_exit _ ->
+      (* All bets are off past an unknown jump: everything may be used
+         and clobbered, nothing is guaranteed defined. *)
+      node.may_use <- Calling_standard.unknown_jump_live;
+      node.may_def <- Calling_standard.all_allocatable;
+      node.must_def <- Regset.empty
+  | Psg.Entry _ | Psg.Call _ | Psg.Return _ | Psg.Branch _ ->
+      node.may_use <- Regset.empty;
+      node.may_def <- Regset.empty;
+      node.must_def <- Regset.full
+
+let cold_cr_init (edges : Psg.edge array) (info : Psg.call_info) =
+  let e = edges.(info.cr_edge) in
+  match info.targets with
+  | None ->
+      let may_use, may_def, must_def =
+        unknown_assumption ~call_def:info.call_def ~call_use:info.call_use
+      in
+      e.e_may_use <- may_use;
+      e.e_may_def <- may_def;
+      e.e_must_def <- must_def
+  | Some _ ->
+      (* Nothing known about the callee yet: only the call's own
+         effect.  MUST-DEF starts at top and shrinks. *)
+      e.e_may_use <- info.call_use;
+      e.e_may_def <- info.call_def;
+      e.e_must_def <- Regset.full
+
+let run ?warm (psg : Psg.t) =
   let n = Psg.node_count psg in
   let nodes = psg.nodes and edges = psg.edges in
+  let in_cone =
+    match warm with None -> fun _ -> true | Some w -> fun id -> w.cone.(id)
+  in
   (* --- Initialization ------------------------------------------------- *)
   let () =
     Spike_obs.Trace.with_span "phase1.init" @@ fun () ->
     Array.iter
-    (fun (node : Psg.node) ->
-      match node.kind with
-      | Psg.Exit _ ->
-          node.may_use <- Regset.empty;
-          node.may_def <- Regset.empty;
-          node.must_def <- Regset.empty
-      | Psg.Unknown_exit _ ->
-          (* All bets are off past an unknown jump: everything may be used
-             and clobbered, nothing is guaranteed defined. *)
-          node.may_use <- Calling_standard.unknown_jump_live;
-          node.may_def <- Calling_standard.all_allocatable;
-          node.must_def <- Regset.empty
-      | Psg.Entry _ | Psg.Call _ | Psg.Return _ | Psg.Branch _ ->
-          node.may_use <- Regset.empty;
-          node.may_def <- Regset.empty;
-          node.must_def <- Regset.full)
-    nodes;
-  Array.iter
-    (fun (info : Psg.call_info) ->
-      let e = edges.(info.cr_edge) in
-      match info.targets with
-      | None ->
-          let may_use, may_def, must_def =
-            unknown_assumption ~call_def:info.call_def ~call_use:info.call_use
-          in
-          e.e_may_use <- may_use;
-          e.e_may_def <- may_def;
-          e.e_must_def <- must_def
-      | Some _ ->
-          (* Nothing known about the callee yet: only the call's own
-             effect.  MUST-DEF starts at top and shrinks. *)
-          e.e_may_use <- info.call_use;
-          e.e_may_def <- info.call_def;
-          e.e_must_def <- Regset.full)
+      (fun (node : Psg.node) ->
+        if in_cone node.id then cold_init node
+        else
+          match warm with
+          | Some w ->
+              let o = node.id * 6 in
+              node.may_use <- Regset.of_bits ~lo:w.restore.(o) ~hi:w.restore.(o + 1);
+              node.may_def <-
+                Regset.of_bits ~lo:w.restore.(o + 2) ~hi:w.restore.(o + 3);
+              node.must_def <-
+                Regset.of_bits ~lo:w.restore.(o + 4) ~hi:w.restore.(o + 5)
+          | None -> assert false)
+      nodes;
+    Array.iteri
+      (fun i (info : Psg.call_info) ->
+        if in_cone info.call_node then cold_cr_init edges info
+        else
+          match warm with
+          | Some w ->
+              let e = edges.(info.cr_edge) in
+              let o = i * 6 in
+              e.e_may_use <-
+                Regset.of_bits ~lo:w.cr_restore.(o) ~hi:w.cr_restore.(o + 1);
+              e.e_may_def <-
+                Regset.of_bits ~lo:w.cr_restore.(o + 2) ~hi:w.cr_restore.(o + 3);
+              e.e_must_def <-
+                Regset.of_bits ~lo:w.cr_restore.(o + 4) ~hi:w.cr_restore.(o + 5)
+          | None -> assert false)
       psg.calls
   in
   (* --- Worklist fixpoint ----------------------------------------------- *)
@@ -92,19 +129,40 @@ let run (psg : Psg.t) =
   in
   (* Seed with everything that has outgoing edges (sinks are fixed), in
      callee-before-caller routine order and sink-to-source order within a
-     routine, so the first sweep already approximates the fixpoint. *)
-  let nodes_by_routine = Array.make (Spike_ir.Program.routine_count psg.program) [] in
-  Array.iter
-    (fun (node : Psg.node) ->
-      match node.kind with
-      | Psg.Exit _ | Psg.Unknown_exit _ -> ()
-      | Psg.Entry _ | Psg.Call _ | Psg.Return _ | Psg.Branch _ ->
-          let r = Psg.node_routine node.kind in
-          nodes_by_routine.(r) <- node.id :: nodes_by_routine.(r))
-    nodes;
-  List.iter
-    (fun r -> List.iter push nodes_by_routine.(r))
-    (Psg.callee_first_order psg);
+     routine, so the first sweep already approximates the fixpoint.  The
+     result is order-independent (each pop recomputes its node from
+     scratch), so when a warm cone covers only a sliver of the graph the
+     ordering work is skipped and the cone is pushed in id order. *)
+  let small_cone =
+    match warm with
+    | None -> false
+    | Some w ->
+        let c = ref 0 in
+        Array.iter (fun b -> if b then incr c) w.cone;
+        !c * 8 < n
+  in
+  if small_cone then
+    Array.iter
+      (fun (node : Psg.node) ->
+        match node.kind with
+        | Psg.Exit _ | Psg.Unknown_exit _ -> ()
+        | Psg.Entry _ | Psg.Call _ | Psg.Return _ | Psg.Branch _ ->
+            if in_cone node.id then push node.id)
+      nodes
+  else begin
+    let nodes_by_routine = Array.make (Spike_ir.Program.routine_count psg.program) [] in
+    Array.iter
+      (fun (node : Psg.node) ->
+        match node.kind with
+        | Psg.Exit _ | Psg.Unknown_exit _ -> ()
+        | Psg.Entry _ | Psg.Call _ | Psg.Return _ | Psg.Branch _ ->
+            let r = Psg.node_routine node.kind in
+            nodes_by_routine.(r) <- node.id :: nodes_by_routine.(r))
+      nodes;
+    List.iter
+      (fun r -> List.iter (fun id -> if in_cone id then push id) nodes_by_routine.(r))
+      (Psg.callee_first_order psg)
+  end;
   let iterations = ref 0 in
   let update_cr_edge (info : Psg.call_info) =
     match info.targets with
@@ -148,8 +206,14 @@ let run (psg : Psg.t) =
         end
   in
   (* Seed every resolved call-return edge once: external-only target lists
-     have no entry node to trigger the first update. *)
-  Array.iter (fun info -> ignore (update_cr_edge info)) psg.calls;
+     have no entry node to trigger the first update.  Outside a warm cone
+     the edge was restored to its converged label and every target entry
+     it reads is converged too (an in-cone target entry forces the call
+     node into the cone), so the recomputation would be a no-op. *)
+  Array.iter
+    (fun (info : Psg.call_info) ->
+      if in_cone info.call_node then ignore (update_cr_edge info))
+    psg.calls;
   let full = 0xFFFF_FFFF in
   let () =
     Spike_obs.Trace.with_span "phase1.fixpoint" @@ fun () ->

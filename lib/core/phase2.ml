@@ -26,10 +26,15 @@ let kind_index : Psg.node_kind -> int = function
   | Psg.Branch _ -> 4
   | Psg.Unknown_exit _ -> 5
 
-let run (psg : Psg.t) =
+type warm = { cone : bool array; restore : int array  (** packed, 2 words per node *) }
+
+let run ?warm (psg : Psg.t) =
   let n = Psg.node_count psg in
   let nodes = psg.nodes and edges = psg.edges in
   let program = psg.program in
+  let in_cone =
+    match warm with None -> fun _ -> true | Some w -> fun id -> w.cone.(id)
+  in
   (* Per-node constant contribution to liveness. *)
   let seed = Array.make n Regset.empty in
   let main_index =
@@ -50,9 +55,23 @@ let run (psg : Psg.t) =
       | Psg.Unknown_exit _ -> seed.(node.id) <- Calling_standard.unknown_jump_live
       | Psg.Entry _ | Psg.Call _ | Psg.Return _ | Psg.Branch _ -> ())
     nodes;
-  Array.iter (fun (node : Psg.node) -> node.may_use <- seed.(node.id)) nodes;
+  Array.iter
+    (fun (node : Psg.node) ->
+      node.may_use <-
+        (if in_cone node.id then seed.(node.id)
+         else
+           match warm with
+           | Some w ->
+               Regset.of_bits ~lo:w.restore.(node.id * 2)
+                 ~hi:w.restore.((node.id * 2) + 1)
+           | None -> assert false))
+    nodes;
   (* Return-to-exit links: an exit node's liveness accumulates the liveness
-     of every return point the routine can return to. *)
+     of every return point the routine can return to.  Only in-cone exits
+     need their links: a link is read when the exit is popped, or used to
+     push the exit when its return node changes — and an in-cone return
+     node forces the callee's exits into the cone, so both readers imply
+     the exit is in the cone. *)
   let return_links = Array.make n [] (* exit node id -> return node ids *) in
   Array.iter
     (fun (info : Psg.call_info) ->
@@ -66,8 +85,9 @@ let run (psg : Psg.t) =
               | Psg.Target_routine r ->
                   List.iter
                     (fun exit_node ->
-                      return_links.(exit_node) <-
-                        info.return_node :: return_links.(exit_node))
+                      if in_cone exit_node then
+                        return_links.(exit_node) <-
+                          info.return_node :: return_links.(exit_node))
                     psg.exit_nodes.(r))
             targets)
     psg.calls;
@@ -85,16 +105,30 @@ let run (psg : Psg.t) =
     Workset.push worklist id
   in
   (* Liveness flows caller-to-callee: seed callers first (reverse of the
-     callee-first order), sinks before sources within each routine. *)
-  let nodes_by_routine = Array.make (Program.routine_count program) [] in
-  Array.iter
-    (fun (node : Psg.node) ->
-      let r = Psg.node_routine node.kind in
-      nodes_by_routine.(r) <- node.id :: nodes_by_routine.(r))
-    nodes;
-  List.iter
-    (fun r -> List.iter push nodes_by_routine.(r))
-    (List.rev (Psg.callee_first_order psg));
+     callee-first order), sinks before sources within each routine.  As in
+     {!Phase1}, the fixpoint is order-independent, so a small warm cone is
+     pushed directly in id order and the ordering work skipped. *)
+  let small_cone =
+    match warm with
+    | None -> false
+    | Some w ->
+        let c = ref 0 in
+        Array.iter (fun b -> if b then incr c) w.cone;
+        !c * 8 < n
+  in
+  if small_cone then
+    Array.iter (fun (node : Psg.node) -> if in_cone node.id then push node.id) nodes
+  else begin
+    let nodes_by_routine = Array.make (Program.routine_count program) [] in
+    Array.iter
+      (fun (node : Psg.node) ->
+        let r = Psg.node_routine node.kind in
+        nodes_by_routine.(r) <- node.id :: nodes_by_routine.(r))
+      nodes;
+    List.iter
+      (fun r -> List.iter (fun id -> if in_cone id then push id) nodes_by_routine.(r))
+      (List.rev (Psg.callee_first_order psg))
+  end;
   let iterations = ref 0 in
   let () =
     Spike_obs.Trace.with_span "phase2.fixpoint" @@ fun () ->

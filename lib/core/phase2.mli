@@ -20,6 +20,21 @@
     registers (§3.5).  Phase-1 [may_def]/[must_def] node sets are left in
     place. *)
 
-val run : Psg.t -> int
+type warm = {
+  cone : bool array;
+      (** node id [->] the node is inside the invalidation cone: it
+          restarts from its constant liveness seed and is put on the
+          worklist *)
+  restore : int array;
+      (** previously converged liveness, packed as two 32-bit halves per
+          node id, installed for nodes outside the cone *)
+}
+(** A warm start; see {!Phase1.warm} for the contract.  Phase-2 influence
+    additionally flows from a return node to the exit nodes of every
+    routine its call can target, so the cone must be closed under that
+    relation too ({!Warm.phase2_plan} is). *)
+
+val run : ?warm:warm -> Psg.t -> int
 (** Runs to convergence, mutating node [may_use] sets in place.  Returns
-    the number of node recomputations performed. *)
+    the number of node recomputations performed.  [warm] restricts
+    initialization and worklist seeding to the invalidation cone. *)

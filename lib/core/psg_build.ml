@@ -221,14 +221,12 @@ let local_pass ~branch_nodes ~resolve_targets r (cfg : Cfg.t) defuse =
     l_unknown = List.rev !unknown;
   }
 
-(* --- Stitch pass -------------------------------------------------------- *)
+(* --- Target resolution --------------------------------------------------- *)
 
-let build ?(branch_nodes = true) ?entry_filters ?(externals = fun _ -> None) ?pool
-    program cfgs defuses =
-  let nroutines = Program.routine_count program in
-  (* §3.5: a call target resolves to a routine of the image, to external
-     code with a supplied summary, or to nothing (the calling-standard
-     assumption). *)
+(* §3.5: a call target resolves to a routine of the image, to external
+   code with a supplied summary, or to nothing (the calling-standard
+   assumption). *)
+let resolver ~externals program =
   let resolve_name name =
     match Program.find_index program name with
     | Some i -> Some (Psg.Target_routine i)
@@ -237,7 +235,7 @@ let build ?(branch_nodes = true) ?entry_filters ?(externals = fun _ -> None) ?po
         | Some c -> Some (Psg.Target_external c)
         | None -> None)
   in
-  let resolve_targets callee =
+  fun callee ->
     match callee with
     | Insn.Direct name -> Option.map (fun t -> [ t ]) (resolve_name name)
     | Insn.Indirect (_, None) | Insn.Indirect (_, Some []) -> None
@@ -245,26 +243,31 @@ let build ?(branch_nodes = true) ?entry_filters ?(externals = fun _ -> None) ?po
         let resolved = List.map resolve_name names in
         if List.exists Option.is_none resolved then None
         else Some (List.filter_map Fun.id resolved)
-  in
-  let pinit n f =
-    match pool with Some p -> Pool.parallel_init p n f | None -> Array.init n f
-  in
-  let locals =
-    pinit nroutines (fun r ->
-        Spike_obs.Trace.with_span "psg.local_pass" (fun () ->
-            local_pass ~branch_nodes ~resolve_targets r cfgs.(r) defuses.(r)))
-  in
-  Spike_obs.Trace.with_span "psg.stitch" @@ fun () ->
+
+(* --- Stitch pass -------------------------------------------------------- *)
+
+let offsets_of locals length =
+  let n = Array.length locals in
+  let offsets = Array.make (n + 1) 0 in
+  for r = 0 to n - 1 do
+    offsets.(r + 1) <- offsets.(r) + length locals.(r)
+  done;
+  offsets
+
+let node_offsets locals = offsets_of locals (fun l -> Array.length l.l_kinds)
+let call_offsets locals = offsets_of locals (fun l -> Array.length l.l_calls)
+
+let stitch ~entry_filters program (locals : local array) =
+  let nroutines = Program.routine_count program in
+  if Array.length locals <> nroutines then
+    invalid_arg "Psg_build.stitch: locals length mismatch";
+  if Array.length entry_filters <> nroutines then
+    invalid_arg "Psg_build.stitch: entry_filters length mismatch";
   (* Prefix sums assign every routine its contiguous global id ranges —
      the same ids the former single-loop builder handed out. *)
-  let node_offset = Array.make (nroutines + 1) 0 in
-  let edge_offset = Array.make (nroutines + 1) 0 in
-  let call_offset = Array.make (nroutines + 1) 0 in
-  for r = 0 to nroutines - 1 do
-    node_offset.(r + 1) <- node_offset.(r) + Array.length locals.(r).l_kinds;
-    edge_offset.(r + 1) <- edge_offset.(r) + Array.length locals.(r).l_edges;
-    call_offset.(r + 1) <- call_offset.(r) + Array.length locals.(r).l_calls
-  done;
+  let node_offset = node_offsets locals in
+  let edge_offset = offsets_of locals (fun l -> Array.length l.l_edges) in
+  let call_offset = call_offsets locals in
   let nnodes = node_offset.(nroutines) in
   let nedges = edge_offset.(nroutines) in
   let ncalls = call_offset.(nroutines) in
@@ -356,24 +359,28 @@ let build ?(branch_nodes = true) ?entry_filters ?(externals = fun _ -> None) ?po
     Array.map (function Some c -> c | None -> assert false) calls
   in
   (* --- Freeze ---------------------------------------------------------- *)
-  let out_lists = Array.make nnodes [] and in_lists = Array.make nnodes [] in
+  (* Adjacency by counting sort over unboxed int arrays — no cons cells,
+     no write barriers.  Filling in edge order keeps each per-node list in
+     ascending edge id, as the cons-and-reverse construction produced. *)
+  let out_cnt = Array.make nnodes 0 and in_cnt = Array.make nnodes 0 in
   Array.iter
     (fun (e : Psg.edge) ->
-      out_lists.(e.src) <- e.edge_id :: out_lists.(e.src);
-      in_lists.(e.dst) <- e.edge_id :: in_lists.(e.dst))
+      out_cnt.(e.src) <- out_cnt.(e.src) + 1;
+      in_cnt.(e.dst) <- in_cnt.(e.dst) + 1)
     edges;
-  let out_edges = Array.map (fun l -> Array.of_list (List.rev l)) out_lists in
-  let in_edges = Array.map (fun l -> Array.of_list (List.rev l)) in_lists in
-  let entry_filter =
-    match entry_filters with
-    | Some filters ->
-        if Array.length filters <> nroutines then
-          invalid_arg "Psg_build.build: entry_filters length mismatch";
-        filters
-    | None ->
-        pinit nroutines (fun r ->
-            Callee_saved.saved_and_restored (Program.get program r) cfgs.(r))
-  in
+  let out_edges = Array.init nnodes (fun i -> Array.make out_cnt.(i) 0) in
+  let in_edges = Array.init nnodes (fun i -> Array.make in_cnt.(i) 0) in
+  Array.fill out_cnt 0 nnodes 0;
+  Array.fill in_cnt 0 nnodes 0;
+  Array.iter
+    (fun (e : Psg.edge) ->
+      let o = out_cnt.(e.src) in
+      out_edges.(e.src).(o) <- e.edge_id;
+      out_cnt.(e.src) <- o + 1;
+      let i = in_cnt.(e.dst) in
+      in_edges.(e.dst).(i) <- e.edge_id;
+      in_cnt.(e.dst) <- i + 1)
+    edges;
   {
     Psg.program;
     nodes;
@@ -385,5 +392,32 @@ let build ?(branch_nodes = true) ?entry_filters ?(externals = fun _ -> None) ?po
     entry_nodes;
     exit_nodes;
     unknown_exit_nodes;
-    entry_filter;
+    entry_filter = entry_filters;
   }
+
+(* --- The one-shot builder ------------------------------------------------ *)
+
+let build ?(branch_nodes = true) ?entry_filters ?(externals = fun _ -> None) ?pool
+    program cfgs defuses =
+  let nroutines = Program.routine_count program in
+  let resolve_targets = resolver ~externals program in
+  let pinit n f =
+    match pool with Some p -> Pool.parallel_init p n f | None -> Array.init n f
+  in
+  let locals =
+    pinit nroutines (fun r ->
+        Spike_obs.Trace.with_span "psg.local_pass" (fun () ->
+            local_pass ~branch_nodes ~resolve_targets r cfgs.(r) defuses.(r)))
+  in
+  let entry_filters =
+    match entry_filters with
+    | Some filters ->
+        if Array.length filters <> nroutines then
+          invalid_arg "Psg_build.build: entry_filters length mismatch";
+        filters
+    | None ->
+        pinit nroutines (fun r ->
+            Callee_saved.saved_and_restored (Program.get program r) cfgs.(r))
+  in
+  Spike_obs.Trace.with_span "psg.stitch" @@ fun () ->
+  stitch ~entry_filters program locals

@@ -23,8 +23,78 @@
     for every parallelism degree. *)
 
 open Spike_support
+open Spike_isa
 open Spike_ir
 open Spike_cfg
+
+(** {2 Per-routine local artifacts}
+
+    The local pass emits everything the stitch pass needs, under
+    routine-local node/edge/call ids.  The records are exposed so the
+    persistent summary store ({!Spike_store}) can serialize a routine's
+    fragment and splice it back into a later build unchanged. *)
+
+type local_edge = {
+  le_kind : Psg.edge_kind;
+  le_src : int;  (** routine-local node id *)
+  le_dst : int;
+  le_label : Edge_dataflow.sets;
+}
+
+type local_call = {
+  lc_call_node : int;  (** routine-local node id *)
+  lc_return_node : int;
+  lc_cr_edge : int;  (** routine-local edge id *)
+  lc_callee : Insn.callee;
+  lc_targets : Psg.call_target list option;
+  lc_call_def : Regset.t;
+  lc_call_use : Regset.t;
+}
+
+type local = {
+  l_kinds : Psg.node_kind array;  (** routine-local node id [->] kind *)
+  l_edges : local_edge array;
+  l_calls : local_call array;
+  l_entry : int list;  (** routine-local node ids, declaration order *)
+  l_exit : int list;
+  l_unknown : int list;
+}
+
+val resolver :
+  externals:(string -> Psg.external_class option) ->
+  Program.t ->
+  Insn.callee ->
+  Psg.call_target list option
+(** The §3.5 target resolution [build] uses: a direct call resolves to a
+    routine of the image, to external code with a supplied summary, or to
+    [None] (the calling-standard assumption); an indirect call resolves
+    only when every name of its target list does. *)
+
+val local_pass :
+  branch_nodes:bool ->
+  resolve_targets:(Insn.callee -> Psg.call_target list option) ->
+  int ->
+  Cfg.t ->
+  Defuse.t ->
+  local
+(** [local_pass ~branch_nodes ~resolve_targets r cfg defuse] runs node and
+    edge discovery plus the Figure-6 edge labelling for routine [r] alone.
+    Safe to call concurrently for distinct routines. *)
+
+val stitch :
+  entry_filters:Regset.t array -> Program.t -> local array -> Psg.t
+(** Concatenate per-routine locals (in routine order) into the global PSG:
+    ids are offset by prefix sums, caller lists are wired.  Deterministic
+    in its inputs — splicing a cached [local] for an unchanged routine
+    yields a graph bit-identical to rebuilding it. *)
+
+val node_offsets : local array -> int array
+(** Prefix sums of per-routine node counts, length [routines + 1]:
+    routine [r]'s nodes occupy global ids
+    [[offsets.(r), offsets.(r + 1))] after {!stitch}. *)
+
+val call_offsets : local array -> int array
+(** Likewise for the global call-site table. *)
 
 val build :
   ?branch_nodes:bool ->

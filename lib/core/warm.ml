@@ -1,0 +1,288 @@
+open Spike_support
+open Spike_ir
+open Spike_cfg
+
+type routine_art = {
+  a_cfg : Cfg.t;
+  a_defuse : Defuse.t;
+  a_filter : Regset.t;
+  a_local : Psg_build.local;
+  a_phase1 : int array;
+  a_cr : int array;
+  a_phase2 : int array;
+}
+
+type donor = {
+  d_art : routine_art;
+  d_callees : string list;
+  d_exported : bool;
+  d_is_main : bool;
+}
+
+type plan = {
+  arts : routine_art option array;
+  donors : donor option array;
+  exit_seeds : bool array;
+}
+
+let cold program =
+  let n = Program.routine_count program in
+  {
+    arts = Array.make n None;
+    donors = Array.make n None;
+    exit_seeds = Array.make n false;
+  }
+
+let reused plan =
+  Array.fold_left (fun n a -> if a = None then n else n + 1) 0 plan.arts
+
+(* --- Solution lifting -------------------------------------------------
+
+   The content fingerprint that guards [plan.arts] is over-sensitive for
+   the {e solutions}: the dataflow result depends on the program only
+   through the equation system — the PSG local fragment (structure, edge
+   labels, call targets), the §3.4 filter, and the exported/main flags
+   that pick phase-2 exit seeds.  A body edit that preserves all of those
+   (changing an immediate, say) rebuilds the front-end artifacts but
+   yields the identical equation system, whose unique least fixpoint is
+   exactly the cached one.  [solutions] recognizes this after the rebuild
+   and lifts the stale artifact's converged solutions as if the routine
+   were clean, leaving both invalidation cones empty. *)
+
+let c_lifted = Spike_obs.Metrics.counter "warm.solutions.lifted"
+
+(* The fragment is plain data — ints, strings, register sets — so
+   structural equality decides "same equation system".  Both sides carry
+   {e current} routine indices: the rebuilt fragment natively, the
+   donor's via the store's name-keyed remap. *)
+let local_equal (a : Psg_build.local) (b : Psg_build.local) = a = b
+
+let solutions plan ~program ~locals ~filters =
+  let n = Program.routine_count program in
+  let main_index =
+    match Program.find_index program (Program.main program) with
+    | Some i -> i
+    | None -> assert false (* guaranteed by Program.make *)
+  in
+  let sols = Array.copy plan.arts in
+  let exit_seeds = Array.copy plan.exit_seeds in
+  let force_exits callees =
+    List.iter
+      (fun callee ->
+        match Program.find_index program callee with
+        | Some r -> exit_seeds.(r) <- true
+        | None -> ())
+      callees
+  in
+  for r = 0 to n - 1 do
+    match plan.donors.(r) with
+    | None -> ()
+    | Some d ->
+        assert (plan.arts.(r) = None);
+        if
+          Bool.equal d.d_exported (Program.get program r).Routine.exported
+          && Bool.equal d.d_is_main (r = main_index)
+          && Regset.equal d.d_art.a_filter filters.(r)
+          && local_equal d.d_art.a_local locals.(r)
+        then begin
+          sols.(r) <- Some d.d_art;
+          Spike_obs.Metrics.incr c_lifted
+        end
+        else
+          (* The routine really is dirty: its old call list may name
+             callees the new fragment no longer reaches, whose exits
+             must re-seed (a return-link contribution vanished). *)
+          force_exits d.d_callees
+  done;
+  (sols, exit_seeds)
+
+(* An invalidation cone is the closure of a seed set under an influence
+   relation: [mark] flags a node and stacks it, [expand] pops until empty.
+   The cone array doubles as the visited set. *)
+let closure n seed_into expand_node =
+  let cone = Array.make n false in
+  let stack = Vec.create () in
+  let mark id =
+    if not cone.(id) then begin
+      cone.(id) <- true;
+      Vec.push stack id
+    end
+  in
+  seed_into mark;
+  let rec drain () =
+    match Vec.pop stack with
+    | None -> ()
+    | Some id ->
+        expand_node mark id;
+        drain ()
+  in
+  drain ();
+  cone
+
+let seed_dirty_routines sols ~node_offset mark =
+  Array.iteri
+    (fun r art ->
+      if art = None then
+        for id = node_offset.(r) to node_offset.(r + 1) - 1 do
+          mark id
+        done)
+    sols
+
+(* Influence along flow and call-return edges runs against the edge
+   direction: a node's recomputation reads the sets of its out-edge
+   destinations, so a changed node influences its in-edge sources. *)
+let mark_in_edge_sources (psg : Psg.t) mark id =
+  let in_edges = psg.in_edges.(id) in
+  for k = 0 to Array.length in_edges - 1 do
+    mark psg.edges.(in_edges.(k)).src
+  done
+
+(* Packed-word restores: [stride] words per element, dirty slots left
+   zero (they are inside the cone and never read). *)
+let restore_of_sols sols ~offset ~stride ~total ~get =
+  let restore = Array.make (total * stride) 0 in
+  Array.iteri
+    (fun r art ->
+      match art with
+      | None -> ()
+      | Some art ->
+          let src = get art in
+          Array.blit src 0 restore (offset.(r) * stride) (Array.length src))
+    sols;
+  restore
+
+let phase1_plan (psg : Psg.t) ~sols ~node_offset ~call_offset =
+  let n = Psg.node_count psg in
+  (* Entry nodes feed the call-return edges of their callers: precompute
+     which node ids are primary entries, and of which routine. *)
+  let primary_of = Array.make n (-1) in
+  Array.iteri
+    (fun r entries ->
+      match entries with [] -> () | _ -> primary_of.(Psg.primary_entry_node psg r) <- r)
+    psg.entry_nodes;
+  let cone =
+    closure n
+      (seed_dirty_routines sols ~node_offset)
+      (fun mark id ->
+        mark_in_edge_sources psg mark id;
+        let r = primary_of.(id) in
+        if r >= 0 then
+          List.iter
+            (fun call_index -> mark psg.calls.(call_index).call_node)
+            psg.callers_of.(r))
+  in
+  {
+    Phase1.cone;
+    restore =
+      restore_of_sols sols ~offset:node_offset ~stride:6 ~total:n
+        ~get:(fun a -> a.a_phase1);
+    cr_restore =
+      restore_of_sols sols ~offset:call_offset ~stride:6
+        ~total:(Array.length psg.calls) ~get:(fun a -> a.a_cr);
+  }
+
+let phase2_plan (psg : Psg.t) ~sols ~exit_seeds ~node_offset ~call_offset ~p1_cr =
+  let n = Psg.node_count psg in
+  (* A return node's liveness is copied into the exit nodes of every
+     routine its call can target (the paper's return-to-exit links). *)
+  let ret_to_exits = Array.make n [] in
+  Array.iter
+    (fun (info : Psg.call_info) ->
+      match info.targets with
+      | None -> ()
+      | Some targets ->
+          List.iter
+            (fun target ->
+              match target with
+              | Psg.Target_external _ -> ()
+              | Psg.Target_routine r ->
+                  ret_to_exits.(info.return_node) <-
+                    psg.exit_nodes.(r) @ ret_to_exits.(info.return_node))
+            targets)
+    psg.calls;
+  let cone =
+    closure n
+      (fun mark ->
+        seed_dirty_routines sols ~node_offset mark;
+        (* A call-return label that converged differently carries a new
+           use/kill summary into its call node's liveness. *)
+        Array.iteri
+          (fun r art ->
+            match art with
+            | None -> ()
+            | Some art ->
+                let ncalls = Array.length art.a_cr / 6 in
+                for k = 0 to ncalls - 1 do
+                  let ci = call_offset.(r) + k in
+                  let same = ref true in
+                  for j = 0 to 5 do
+                    if p1_cr.((ci * 6) + j) <> art.a_cr.((k * 6) + j) then
+                      same := false
+                  done;
+                  if not !same then mark psg.calls.(ci).call_node
+                done)
+          sols;
+        (* Routines that may have lost (or gained) a caller: their exit
+           nodes' return-link contributions are suspect. *)
+        Array.iteri
+          (fun r forced -> if forced then List.iter mark psg.exit_nodes.(r))
+          exit_seeds)
+      (fun mark id ->
+        mark_in_edge_sources psg mark id;
+        List.iter mark ret_to_exits.(id))
+  in
+  {
+    Phase2.cone;
+    restore =
+      restore_of_sols sols ~offset:node_offset ~stride:2 ~total:n
+        ~get:(fun a -> a.a_phase2);
+  }
+
+let pack_sets3 a i x y z =
+  let o = i * 6 in
+  a.(o) <- Regset.lo_bits x;
+  a.(o + 1) <- Regset.hi_bits x;
+  a.(o + 2) <- Regset.lo_bits y;
+  a.(o + 3) <- Regset.hi_bits y;
+  a.(o + 4) <- Regset.lo_bits z;
+  a.(o + 5) <- Regset.hi_bits z
+
+let snapshot_phase1 (psg : Psg.t) =
+  let n = Psg.node_count psg in
+  let nodes = Array.make (n * 6) 0 in
+  Array.iter
+    (fun (nd : Psg.node) -> pack_sets3 nodes nd.id nd.may_use nd.may_def nd.must_def)
+    psg.nodes;
+  let cr = Array.make (Array.length psg.calls * 6) 0 in
+  Array.iteri
+    (fun i (info : Psg.call_info) ->
+      let e = psg.edges.(info.cr_edge) in
+      pack_sets3 cr i e.e_may_use e.e_may_def e.e_must_def)
+    psg.calls;
+  (nodes, cr)
+
+let snapshot_live (psg : Psg.t) =
+  let live = Array.make (Psg.node_count psg * 2) 0 in
+  Array.iter
+    (fun (nd : Psg.node) ->
+      live.(nd.id * 2) <- Regset.lo_bits nd.may_use;
+      live.((nd.id * 2) + 1) <- Regset.hi_bits nd.may_use)
+    psg.nodes;
+  live
+
+let capture ~cfgs ~defuses ~filters ~locals ~p1_nodes ~p1_cr ~p2_live ~node_offset
+    ~call_offset =
+  Array.mapi
+    (fun r (local : Psg_build.local) ->
+      let nlen = Array.length local.l_kinds in
+      let clen = Array.length local.l_calls in
+      {
+        a_cfg = cfgs.(r);
+        a_defuse = defuses.(r);
+        a_filter = filters.(r);
+        a_local = local;
+        a_phase1 = Array.sub p1_nodes (node_offset.(r) * 6) (nlen * 6);
+        a_cr = Array.sub p1_cr (call_offset.(r) * 6) (clen * 6);
+        a_phase2 = Array.sub p2_live (node_offset.(r) * 2) (nlen * 2);
+      })
+    locals

@@ -1,0 +1,49 @@
+(** Content fingerprints keying the persistent summary store.
+
+    A routine's cached artifacts ({!Spike_core.Warm.routine_art}) may be
+    reused exactly when every input that fed them is unchanged.  The
+    fingerprint digests all of those inputs:
+
+    {ul
+     {- the instruction stream, entries, labels and [exported] flag
+        (fields folded straight into a 126-bit two-lane polynomial
+        hash — {e not} the pretty-printer, nor even an intermediate byte
+        serialization, both of which would dominate warm-start time);}
+     {- whether the routine is the program's [main] (phase 2 seeds its
+        exits differently);}
+     {- how each call's targets resolve {e in the current environment}:
+        each possible target contributes [I] (a routine of the program),
+        [X] plus the digest of its supplied external class, or [U]
+        (unknown, calling-standard assumption).}}
+
+    Resolution is recorded {e index-free} — an internal callee contributes
+    its status, not its routine index — so inserting or deleting an
+    unrelated routine shifts indices without dirtying anything.  The
+    callee's own {e content} is deliberately not part of its caller's
+    fingerprint: a changed callee invalidates only its own entry, and the
+    warm-start cones re-converge the callers.
+
+    The store format version and analysis configuration (branch nodes,
+    callee-saved filter) live in {!config_key}, checked once per file
+    rather than per routine. *)
+
+open Spike_ir
+open Spike_core
+
+val format_version : int
+(** Bump on any change to the store's binary layout. *)
+
+val config_key : branch_nodes:bool -> callee_saved_filter:bool -> string
+(** 16-byte digest of format version, analysis configuration and
+    {!Regset.bits}; a store written under a different key is unusable. *)
+
+val routine :
+  externals:(string -> Psg.external_class option) ->
+  Program.t ->
+  Routine.t ->
+  string
+(** 16-byte content digest of the routine under the given resolution
+    environment.  Collision-resistant against accidental change (two
+    independent 63-bit polynomial lanes), not against an adversary — the
+    store is a cache of the user's own build tree, not a trust boundary.
+    Uses a shared scratch state: call from a single domain. *)

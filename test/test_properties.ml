@@ -146,6 +146,48 @@ let prop_opt_preserves_outcome =
           true
       | _, _ -> false)
 
+(* External-summary files must round-trip through their concrete syntax:
+   the sets are rebuilt from rendered register names, so this exercises
+   name/of_name agreement for every register, empty sets, and inputs that
+   list the same register more than once (sets collapse them). *)
+let arbitrary_summaries =
+  let open QCheck.Gen in
+  let reg = oneofl Spike_isa.Reg.all in
+  let regset =
+    (* duplicates on purpose: [of_list] must collapse them *)
+    map Regset.of_list (list_size (int_bound 8) reg)
+  in
+  let entry i =
+    map3
+      (fun used defined killed ->
+        (Printf.sprintf "ext_%d" i, { Psg.x_used = used; x_defined = defined; x_killed = killed }))
+      regset regset regset
+  in
+  let gen =
+    int_bound 8 >>= fun n ->
+    let rec go i = if i >= n then return [] else
+      entry i >>= fun e -> map (fun rest -> e :: rest) (go (i + 1))
+    in
+    go 0
+  in
+  let print entries = Spike_asm.Summaries.to_string entries in
+  QCheck.make ~print gen
+
+let prop_summaries_roundtrip =
+  QCheck.Test.make ~name:"external summaries print/parse roundtrip" ~count:200
+    arbitrary_summaries (fun entries ->
+      let again =
+        Spike_asm.Summaries.of_string (Spike_asm.Summaries.to_string entries)
+      in
+      List.length entries = List.length again
+      && List.for_all2
+           (fun (n1, (c1 : Psg.external_class)) (n2, (c2 : Psg.external_class)) ->
+             String.equal n1 n2
+             && Regset.equal c1.Psg.x_used c2.Psg.x_used
+             && Regset.equal c1.Psg.x_defined c2.Psg.x_defined
+             && Regset.equal c1.Psg.x_killed c2.Psg.x_killed)
+           entries again)
+
 let prop_dynamic_soundness =
   QCheck.Test.make ~name:"summaries sound on executions" ~count:25 arbitrary_params
     (fun params ->
@@ -164,6 +206,7 @@ let () =
             prop_psg_equals_reference;
             prop_branch_nodes_invariant;
             prop_asm_roundtrip;
+            prop_summaries_roundtrip;
             prop_opt_preserves_outcome;
             prop_dynamic_soundness;
           ] );
