@@ -16,6 +16,7 @@ type t = {
   externals : string -> Psg.external_class option;
   callee_saved_filter : bool;
   jobs : int;
+  phase_sched : [ `Fifo | `Scc ];
   reused_routines : int;
   warm_capture : Warm.routine_art array option;
 }
@@ -23,6 +24,7 @@ type t = {
 let stage_cfg_build = "CFG Build"
 let stage_init = "Initialization"
 let stage_psg_build = "PSG Build"
+let stage_sched = "SCC Sched"
 let stage_phase1 = "Phase 1"
 let stage_phase2 = "Phase 2"
 
@@ -70,8 +72,16 @@ let record_stage timer stage f =
 let c_reused = Spike_obs.Metrics.counter "warm.routines.reused"
 let c_rebuilt = Spike_obs.Metrics.counter "warm.routines.rebuilt"
 
-let run_cold ~branch_nodes ~externals ~callee_saved_filter ~jobs ~pool ~timer
-    program =
+(* The condensation schedule both phases share.  Built once per run —
+   it only depends on the call graph — and timed as its own stage so the
+   bench can show it is amortized by the iteration savings. *)
+let build_sched ~phase_sched ~pool ~timer psg =
+  match phase_sched with
+  | `Fifo -> None
+  | `Scc -> Some (record_stage timer stage_sched (fun () -> Sched.make ~pool psg))
+
+let run_cold ~branch_nodes ~externals ~callee_saved_filter ~jobs ~phase_sched
+    ~pool ~timer program =
   let routines = Program.routines program in
   let cfgs =
     record_stage timer stage_cfg_build (fun () ->
@@ -106,16 +116,18 @@ let run_cold ~branch_nodes ~externals ~callee_saved_filter ~jobs ~pool ~timer
     let stats = Psg_stats.of_psg psg in
     List.iter (fun (c, get) -> Spike_obs.Metrics.add c (get stats)) psg_counters
   end;
-  (* Phases 1 and 2 are global fixpoints over the whole PSG; they stay
-     sequential. *)
+  (* Phases 1 and 2 are global fixpoints over the whole PSG; under the
+     SCC schedule they run one call-graph component at a time, with
+     independent components dispatched to the pool. *)
+  let sched = build_sched ~phase_sched ~pool ~timer psg in
   let phase1_iterations, call_classes =
     record_stage timer stage_phase1 (fun () ->
-        let iterations = Phase1.run psg in
+        let iterations = Phase1.run ?sched psg in
         (iterations, Summary.extract_call_classes psg))
   in
   let phase2_iterations, summaries =
     record_stage timer stage_phase2 (fun () ->
-        let iterations = Phase2.run psg in
+        let iterations = Phase2.run ?sched psg in
         (iterations, Summary.extract psg call_classes))
   in
   {
@@ -132,6 +144,7 @@ let run_cold ~branch_nodes ~externals ~callee_saved_filter ~jobs ~pool ~timer
     externals;
     callee_saved_filter;
     jobs;
+    phase_sched;
     reused_routines = 0;
     warm_capture = None;
   }
@@ -144,8 +157,8 @@ let run_cold ~branch_nodes ~externals ~callee_saved_filter ~jobs ~pool ~timer
    the invalidation cones the planners close.  With an all-cold plan the
    cones cover every node, so this degenerates to the cold run — which is
    how [capture]-only runs keep bit-identical results. *)
-let run_warm ~branch_nodes ~externals ~callee_saved_filter ~jobs ~pool ~timer
-    ~(plan : Warm.plan) ~capture program =
+let run_warm ~branch_nodes ~externals ~callee_saved_filter ~jobs ~phase_sched
+    ~pool ~timer ~(plan : Warm.plan) ~capture program =
   let routines = Program.routines program in
   let n = Array.length routines in
   let reused_routines = Warm.reused plan in
@@ -211,13 +224,14 @@ let run_warm ~branch_nodes ~externals ~callee_saved_filter ~jobs ~pool ~timer
     Spike_obs.Trace.with_span "warm.lift" (fun () ->
         Warm.solutions plan ~program ~locals ~filters:entry_filters)
   in
+  let sched = build_sched ~phase_sched ~pool ~timer psg in
   let phase1_iterations, call_classes, p1_nodes, p1_cr =
     record_stage timer stage_phase1 (fun () ->
         let w1 =
           Spike_obs.Trace.with_span "warm.phase1_plan" (fun () ->
               Warm.phase1_plan psg ~sols ~node_offset ~call_offset)
         in
-        let iterations = Phase1.run ~warm:w1 psg in
+        let iterations = Phase1.run ~warm:w1 ?sched psg in
         let p1_nodes, p1_cr = Warm.snapshot_phase1 psg in
         (iterations, Summary.extract_call_classes psg, p1_nodes, p1_cr))
   in
@@ -228,7 +242,7 @@ let run_warm ~branch_nodes ~externals ~callee_saved_filter ~jobs ~pool ~timer
               Warm.phase2_plan psg ~sols ~exit_seeds ~node_offset ~call_offset
                 ~p1_cr)
         in
-        let iterations = Phase2.run ~warm:w2 psg in
+        let iterations = Phase2.run ~warm:w2 ?sched psg in
         (iterations, Summary.extract psg call_classes))
   in
   let warm_capture =
@@ -253,12 +267,14 @@ let run_warm ~branch_nodes ~externals ~callee_saved_filter ~jobs ~pool ~timer
     externals;
     callee_saved_filter;
     jobs;
+    phase_sched;
     reused_routines;
     warm_capture;
   }
 
 let run ?(branch_nodes = true) ?(externals = fun _ -> None)
-    ?(callee_saved_filter = true) ?jobs ?warm ?(capture = false) program =
+    ?(callee_saved_filter = true) ?jobs ?(phase_sched = `Scc) ?warm
+    ?(capture = false) program =
   let jobs =
     match jobs with Some j -> max 1 (min j 64) | None -> Pool.default_jobs ()
   in
@@ -268,18 +284,19 @@ let run ?(branch_nodes = true) ?(externals = fun _ -> None)
       Spike_obs.Metrics.add c_routines (Program.routine_count program);
       match (warm, capture) with
       | None, false ->
-          run_cold ~branch_nodes ~externals ~callee_saved_filter ~jobs ~pool
-            ~timer program
+          run_cold ~branch_nodes ~externals ~callee_saved_filter ~jobs
+            ~phase_sched ~pool ~timer program
       | _ ->
           let plan =
             match warm with Some p -> p | None -> Warm.cold program
           in
-          run_warm ~branch_nodes ~externals ~callee_saved_filter ~jobs ~pool
-            ~timer ~plan ~capture program)
+          run_warm ~branch_nodes ~externals ~callee_saved_filter ~jobs
+            ~phase_sched ~pool ~timer ~plan ~capture program)
 
 let rerun t program =
   run ~branch_nodes:t.branch_nodes ~externals:t.externals
-    ~callee_saved_filter:t.callee_saved_filter ~jobs:t.jobs program
+    ~callee_saved_filter:t.callee_saved_filter ~jobs:t.jobs
+    ~phase_sched:t.phase_sched program
 
 let summary_of t name = Summary.find t.summaries t.program name
 let site_class t info = Summary.site_class t.psg t.call_classes info

@@ -35,7 +35,10 @@ type t = {
   branch_nodes : bool;  (** configuration, for {!rerun} *)
   externals : string -> Psg.external_class option;
   callee_saved_filter : bool;
-  jobs : int;  (** parallelism degree the front-end stages ran with *)
+  jobs : int;
+      (** parallelism degree the front-end stages and (under the SCC
+          schedule) the phase fixpoints ran with *)
+  phase_sched : [ `Fifo | `Scc ];  (** configuration, for {!rerun} *)
   reused_routines : int;
       (** routines whose front-end artifacts came from the warm plan *)
   warm_capture : Warm.routine_art array option;
@@ -45,6 +48,10 @@ type t = {
 val stage_cfg_build : string
 val stage_init : string
 val stage_psg_build : string
+
+val stage_sched : string
+(** Building the {!Sched} condensation schedule (SCC mode only). *)
+
 val stage_phase1 : string
 val stage_phase2 : string
 
@@ -53,6 +60,7 @@ val run :
   ?externals:(string -> Psg.external_class option) ->
   ?callee_saved_filter:bool ->
   ?jobs:int ->
+  ?phase_sched:[ `Fifo | `Scc ] ->
   ?warm:Warm.plan ->
   ?capture:bool ->
   Program.t ->
@@ -69,12 +77,21 @@ val run :
     [jobs] (default {!Spike_support.Pool.default_jobs}, i.e.
     [Domain.recommended_domain_count] clamped; explicit values are clamped
     to [[1, 64]]) is the number of domains the per-routine front-end
-    stages — CFG build, initialization and the PSG local pass — run on.
-    Results are bit-identical for every [jobs] value; phases 1 and 2 are
-    global fixpoints and always sequential.  With [jobs > 1], [externals]
-    is called concurrently and must be thread-safe.  Stage times recorded
-    in [timer] are wall-clock, so a parallel stage reports its elapsed
-    time, not the sum over domains.
+    stages — CFG build, initialization and the PSG local pass — run on,
+    and, under the SCC schedule, the number of domains independent
+    call-graph components of the phase 1 / phase 2 fixpoints are
+    dispatched to.  Results are bit-identical for every [jobs] value.
+    With [jobs > 1], [externals] is called concurrently and must be
+    thread-safe.  Stage times recorded in [timer] are wall-clock, so a
+    parallel stage reports its elapsed time, not the sum over domains.
+
+    [phase_sched] (default [`Scc]) selects the phase fixpoint driver:
+    [`Scc] processes call-graph SCCs in condensation order ({!Sched}) and
+    is both faster (callee summaries are converged before any caller
+    reads them) and parallel; [`Fifo] is the single-worklist baseline,
+    kept for measurement and differential testing.  Both converge to the
+    same unique fixpoint, so summaries are bit-identical across drivers
+    and [jobs] values.
 
     [warm] supplies a {!Warm.plan} of per-routine artifacts from an
     earlier run of the {e same} program configuration (modulo the edits

@@ -34,7 +34,12 @@ type warm = {
     routine its call can target, so the cone must be closed under that
     relation too ({!Warm.phase2_plan} is). *)
 
-val run : ?warm:warm -> Psg.t -> int
+val run : ?warm:warm -> ?sched:Sched.t -> Psg.t -> int
 (** Runs to convergence, mutating node [may_use] sets in place.  Returns
     the number of node recomputations performed.  [warm] restricts
-    initialization and worklist seeding to the invalidation cone. *)
+    initialization and worklist seeding to the invalidation cone.
+
+    [sched] runs the fixpoint one call-graph SCC at a time in
+    caller-first (reverse topological) order; see {!Phase1.run} for the
+    contract — the solution is unique, so serial, parallel and FIFO modes
+    all converge to bit-identical liveness. *)

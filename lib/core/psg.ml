@@ -85,7 +85,7 @@ let node_routine = function
       routine
 
 
-let callee_first_order t =
+let call_graph t =
   let n = Program.routine_count t.program in
   let succs = Array.make n [] in
   Array.iter
@@ -101,21 +101,13 @@ let callee_first_order t =
             targets
       | None -> ())
     t.calls;
-  let visited = Array.make n false in
-  let order = ref [] in
-  let rec dfs r =
-    if not visited.(r) then begin
-      visited.(r) <- true;
-      List.iter dfs succs.(r);
-      order := r :: !order
-    end
-  in
-  for r = 0 to n - 1 do
-    dfs r
-  done;
-  (* [!order] is reverse postorder (callers first); callees first is its
-     reverse. *)
-  List.rev !order
+  (* One edge per distinct (caller, callee) pair: a routine with many call
+     sites to the same callee would otherwise multiply every traversal's
+     edge work by its site count. *)
+  Array.map (fun callees -> Array.of_list (List.sort_uniq Int.compare callees)) succs
+
+let call_scc t = Scc.compute ~succs:(call_graph t)
+let callee_first_order t = Scc.topological (call_scc t)
 
 let kind_string t kind =
   let rname r = (Program.get t.program r).Routine.name in

@@ -112,10 +112,21 @@ val primary_entry_node : t -> int -> int
 
 val node_routine : node_kind -> int
 
+val call_graph : t -> int array array
+(** The resolved routine call graph: [call_graph psg].(r) lists the
+    distinct routines that calls in routine [r] may target (externals and
+    unresolved indirect calls excluded), sorted ascending.  Successor
+    lists are deduplicated across call sites. *)
+
+val call_scc : t -> Scc.t
+(** SCC decomposition of {!call_graph} — the schedule skeleton for both
+    interprocedural phases.  Computed iteratively; safe on call chains of
+    any depth. *)
+
 val callee_first_order : t -> int list
-(** Routine indices in callee-before-caller order (DFS postorder over the
-    resolved call graph; cycles broken arbitrarily).  Seeding phase 1's
-    worklist in this order — and phase 2's in the reverse — makes the
+(** Routine indices in callee-before-caller order ({!Scc.topological} of
+    {!call_scc}; cycles broken by component membership).  Seeding phase
+    1's worklist in this order — and phase 2's in the reverse — makes the
     fixpoints settle in near one sweep on call-graph DAGs. *)
 
 val pp_node : t -> Format.formatter -> node -> unit

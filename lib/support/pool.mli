@@ -58,3 +58,26 @@ val parallel_map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 
 val parallel_init : t -> int -> (int -> 'a) -> 'a array
 (** [parallel_init pool n f] is [Array.init n f], distributed likewise. *)
+
+val run_dag :
+  t -> dependents:int array array -> dep_counts:int array -> (int -> unit) -> unit
+(** [run_dag pool ~dependents ~dep_counts body] executes [body i] exactly
+    once for every task [i] in [0 .. n - 1] (where [n] is the array
+    length), never starting a task before all of its dependencies have
+    completed.  [dep_counts.(i)] is the number of dependencies of [i];
+    [dependents.(j)] lists the tasks whose counter drops when [j]
+    completes.  Neither array is modified.
+
+    Ready tasks are dispatched to whichever domain is idle, so independent
+    tasks run concurrently; the dependency edges are also publication
+    edges (each hand-off goes through the pool mutex), which makes it safe
+    for a task to read state its dependencies wrote without further
+    synchronization.  This is what schedules the per-SCC dataflow
+    fixpoints: components of the call-graph condensation are tasks, the
+    condensation edges the dependencies.
+
+    The first exception raised by any task aborts the remaining ones and
+    is re-raised on the calling domain.  [body] must be safe to call
+    concurrently from several domains for independent tasks.
+    @raise Invalid_argument when the graph has a cycle (some tasks can
+    never start) or the arrays disagree in length. *)

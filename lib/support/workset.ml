@@ -18,6 +18,19 @@ let create n =
 
 let is_empty t = t.count = 0
 let length t = t.count
+let capacity t = Array.length t.ring
+
+let clear t =
+  (* O(queued), not O(capacity): only the ids still on the ring have their
+     membership bit set. *)
+  while t.count > 0 do
+    let id = t.ring.(t.head) in
+    t.head <- (if t.head + 1 = Array.length t.ring then 0 else t.head + 1);
+    t.count <- t.count - 1;
+    Bytes.unsafe_set t.queued id '\000'
+  done;
+  t.head <- 0;
+  t.tail <- 0
 
 let push t id =
   (* [unsafe_get] below elides the per-push bounds check the fixpoints pay

@@ -20,3 +20,11 @@ val pop : t -> int
 
 val is_empty : t -> bool
 val length : t -> int
+
+val capacity : t -> int
+(** The id-space size given to {!create}. *)
+
+val clear : t -> unit
+(** Empty the set, in time proportional to its current length.  The set is
+    afterwards indistinguishable from a fresh one — the SCC schedulers
+    reuse one workset per worker across many per-component fixpoints. *)

@@ -305,6 +305,75 @@ let test_recursion_converges () =
       Alcotest.check regset "recursive killed" d.Summary.killed c.Summary.killed)
     analysis.Analysis.call_classes
 
+let test_deep_call_chain () =
+  (* A 100_000-deep linear call chain.  The callee-first traversal and
+     the call-graph SCC pass walk one DFS path the full depth of the
+     program here — a recursive implementation would need a native stack
+     frame per routine, so both are required to be iterative. *)
+  let depth = 100_000 in
+  let name i = Printf.sprintf "f%d" i in
+  let routines =
+    List.init depth (fun i ->
+        if i = depth - 1 then routine (name i) [ (None, li r2 1); (None, ret) ]
+        else routine (name i) [ (None, call (name (i + 1))); (None, ret) ])
+  in
+  let p = program ~main:(name 0) routines in
+  let a = Analysis.run p in
+  (* The leaf's definition propagates the whole way up as a may-kill. *)
+  let c = (Option.get (Analysis.summary_of a (name 0))).Summary.call_class in
+  check_restricted "chain killed" ~over:(rs [ r2 ]) (rs [ r2 ]) c.Summary.killed;
+  let order = Psg.callee_first_order a.Analysis.psg in
+  Alcotest.(check int) "traversal covers every routine" depth (List.length order);
+  let scc = Psg.call_scc a.Analysis.psg in
+  Alcotest.(check int) "chain is acyclic" depth scc.Scc.count
+
+let test_fifo_scc_schedules_agree () =
+  (* The FIFO worklist and the SCC-condensation schedule must reach the
+     same (unique) fixpoint — same summaries, call classes and PSG sets —
+     on straight-line call structure and on recursion knots alike. *)
+  let even =
+    routine "even"
+      [
+        (None, beq r1 "base");
+        (None, call "odd");
+        (None, ret);
+        (Some "base", li r2 1);
+        (None, ret);
+      ]
+  in
+  let odd =
+    routine "odd"
+      [
+        (None, beq r1 "base");
+        (None, call "even");
+        (None, ret);
+        (Some "base", li r3 1);
+        (None, ret);
+      ]
+  in
+  let main = routine "main" [ (None, call "even"); (None, ret) ] in
+  List.iter
+    (fun (label, p) ->
+      let fifo = Analysis.run ~phase_sched:`Fifo p in
+      let scc = Analysis.run ~phase_sched:`Scc p in
+      Alcotest.(check string)
+        (label ^ ": identical PSG solutions")
+        (Format.asprintf "%a" Psg.pp fifo.Analysis.psg)
+        (Format.asprintf "%a" Psg.pp scc.Analysis.psg);
+      Array.iteri
+        (fun r (c : Summary.call_class) ->
+          let d = scc.Analysis.call_classes.(r) in
+          Alcotest.check regset (label ^ ": used") c.Summary.used d.Summary.used;
+          Alcotest.check regset (label ^ ": defined") c.Summary.defined
+            d.Summary.defined;
+          Alcotest.check regset (label ^ ": killed") c.Summary.killed
+            d.Summary.killed)
+        fifo.Analysis.call_classes)
+    [
+      ("figure2", figure2_program ());
+      ("mutual recursion", program ~main:"main" [ main; even; odd ]);
+    ]
+
 (* --- Analysis determinism / misc ------------------------------------------ *)
 
 let test_analysis_deterministic () =
@@ -374,6 +443,9 @@ let () =
       ( "fixpoints",
         [
           Alcotest.test_case "recursion" `Quick test_recursion_converges;
+          Alcotest.test_case "deep call chain" `Quick test_deep_call_chain;
+          Alcotest.test_case "FIFO vs SCC schedule" `Quick
+            test_fifo_scc_schedules_agree;
           Alcotest.test_case "determinism" `Quick test_analysis_deterministic;
         ] );
       ( "structure",

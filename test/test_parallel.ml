@@ -94,6 +94,28 @@ let test_example_program () =
   let program = Spike_asm.Parser.program_of_file fact_path in
   check_identical "examples/fact.s" program
 
+let test_fifo_serial_vs_scc_parallel () =
+  (* The strongest cross-check: the sequential FIFO baseline against the
+     SCC schedule running its phase fixpoints on 4 domains.  Same unique
+     fixpoint, so bit-identical summaries, call classes and PSG — even
+     though neither the schedule nor the executor is shared. *)
+  List.iter
+    (fun (name, program) ->
+      let fifo = Analysis.run ~jobs:1 ~phase_sched:`Fifo program in
+      let scc4 = Analysis.run ~jobs:4 ~phase_sched:`Scc program in
+      let tag what = Printf.sprintf "%s: %s (FIFO j1 vs SCC j4)" name what in
+      Alcotest.(check string)
+        (tag "summaries")
+        (render_summaries fifo) (render_summaries scc4);
+      Alcotest.(check string)
+        (tag "call classes")
+        (render_call_classes fifo) (render_call_classes scc4);
+      Alcotest.(check string) (tag "PSG dump") (render_psg fifo) (render_psg scc4))
+    [
+      ("synth seed 5", synth_program ~seed:5 ~routines:60 ~target_instructions:3000);
+      ("examples/fact.s", Spike_asm.Parser.program_of_file fact_path);
+    ]
+
 let () =
   Alcotest.run "parallel-determinism"
     [
@@ -103,5 +125,7 @@ let () =
           Alcotest.test_case "calibrated gcc" `Quick test_calibrated_workload;
           Alcotest.test_case "config variants" `Quick test_config_variants;
           Alcotest.test_case "example program" `Quick test_example_program;
+          Alcotest.test_case "FIFO serial vs SCC parallel" `Quick
+            test_fifo_serial_vs_scc_parallel;
         ] );
     ]

@@ -186,6 +186,229 @@ let test_workset_bounds () =
   Workset.push w 3;
   Alcotest.(check int) "still usable" 3 (Workset.pop w)
 
+let test_workset_wraparound_requeue () =
+  (* Drive the write cursor all the way around a full-capacity ring while
+     re-queueing each popped id immediately: the head/tail wrap must keep
+     FIFO order and the membership bitmap exact. *)
+  let n = 5 in
+  let w = Workset.create n in
+  for id = 0 to n - 1 do
+    Workset.push w id
+  done;
+  for round = 0 to (7 * n) - 1 do
+    let id = Workset.pop w in
+    Alcotest.(check int)
+      (Printf.sprintf "fifo cycle at round %d" round)
+      (round mod n) id;
+    (* push-after-pop: the id was cleared from the bitmap by the pop, so
+       the re-queue must succeed (and land at the tail). *)
+    Workset.push w id;
+    Alcotest.(check int) "ring stays full" n (Workset.length w)
+  done;
+  (* A queued id must still be rejected as a duplicate after wrapping. *)
+  Workset.push w 2;
+  Alcotest.(check int) "duplicate rejected after wrap" n (Workset.length w)
+
+let test_workset_capacity_clear () =
+  let w = Workset.create 8 in
+  Alcotest.(check int) "capacity" 8 (Workset.capacity w);
+  Workset.push w 1;
+  Workset.push w 5;
+  Workset.push w 7;
+  Workset.clear w;
+  Alcotest.(check bool) "clear empties" true (Workset.is_empty w);
+  Alcotest.(check int) "length after clear" 0 (Workset.length w);
+  (* clear must also reset membership: the cleared ids can re-enter. *)
+  Workset.push w 5;
+  Workset.push w 1;
+  Alcotest.(check int) "re-push after clear" 2 (Workset.length w);
+  Alcotest.(check int) "fifo after clear" 5 (Workset.pop w);
+  Alcotest.(check int) "fifo after clear 2" 1 (Workset.pop w);
+  (* Clearing an empty set is a no-op. *)
+  Workset.clear w;
+  Alcotest.(check bool) "clear empty" true (Workset.is_empty w)
+
+(* --- Scc ----------------------------------------------------------------- *)
+
+let arbitrary_digraph =
+  let open QCheck in
+  let gen =
+    Gen.(
+      int_range 1 24 >>= fun n ->
+      list_size (int_range 0 (3 * n))
+        (pair (int_bound (n - 1)) (int_bound (n - 1)))
+      >>= fun edges ->
+      let succs = Array.make n [] in
+      List.iter (fun (u, v) -> succs.(u) <- v :: succs.(u)) edges;
+      return (Array.map Array.of_list succs))
+  in
+  let print succs =
+    String.concat "; "
+      (Array.to_list
+         (Array.mapi
+            (fun u ds ->
+              Printf.sprintf "%d->[%s]" u
+                (String.concat ","
+                   (Array.to_list (Array.map string_of_int ds))))
+            succs))
+  in
+  QCheck.make ~print gen
+
+(* Transitive reachability by DFS from every vertex — the specification the
+   linear-time implementation is checked against (graphs are small). *)
+let reachability succs =
+  let n = Array.length succs in
+  let r = Array.make_matrix n n false in
+  for s = 0 to n - 1 do
+    r.(s).(s) <- true;
+    let stack = ref [ s ] in
+    while !stack <> [] do
+      let u = List.hd !stack in
+      stack := List.tl !stack;
+      Array.iter
+        (fun v ->
+          if not r.(s).(v) then begin
+            r.(s).(v) <- true;
+            stack := v :: !stack
+          end)
+        succs.(u)
+    done
+  done;
+  r
+
+let qcheck_scc name law =
+  QCheck.Test.make ~name ~count:300 arbitrary_digraph law
+
+let scc_properties =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      qcheck_scc "components = mutual reachability classes" (fun succs ->
+          let scc = Scc.compute ~succs in
+          let r = reachability succs in
+          let n = Array.length succs in
+          let ok = ref true in
+          for u = 0 to n - 1 do
+            for v = 0 to n - 1 do
+              let same = scc.Scc.comp_of.(u) = scc.Scc.comp_of.(v) in
+              if same <> (r.(u).(v) && r.(v).(u)) then ok := false
+            done
+          done;
+          !ok);
+      qcheck_scc "members partition the vertices" (fun succs ->
+          let scc = Scc.compute ~succs in
+          let n = Array.length succs in
+          let seen = Array.make n 0 in
+          Array.iteri
+            (fun c ms ->
+              Array.iter
+                (fun v ->
+                  seen.(v) <- seen.(v) + 1;
+                  if scc.Scc.comp_of.(v) <> c then raise Exit)
+                ms)
+            scc.Scc.members;
+          Array.for_all (fun k -> k = 1) seen);
+      qcheck_scc "numbering is reverse topological" (fun succs ->
+          (* Every edge crossing components points at a smaller component:
+             the condensation is acyclic and ascending order is a
+             topological (successors-first) order. *)
+          let scc = Scc.compute ~succs in
+          let ok = ref true in
+          Array.iteri
+            (fun u ds ->
+              Array.iter
+                (fun v ->
+                  if
+                    scc.Scc.comp_of.(u) <> scc.Scc.comp_of.(v)
+                    && not (scc.Scc.comp_of.(v) < scc.Scc.comp_of.(u))
+                  then ok := false)
+                ds)
+            succs;
+          !ok);
+      qcheck_scc "condensation adjacency matches the edges" (fun succs ->
+          let scc = Scc.compute ~succs in
+          let expect = Array.make scc.Scc.count [] in
+          Array.iteri
+            (fun u ds ->
+              Array.iter
+                (fun v ->
+                  let cu = scc.Scc.comp_of.(u) and cv = scc.Scc.comp_of.(v) in
+                  if cu <> cv && not (List.mem cv expect.(cu)) then
+                    expect.(cu) <- cv :: expect.(cu))
+                ds)
+            succs;
+          Array.for_all2
+            (fun got want -> Array.to_list got = List.sort Int.compare want)
+            scc.Scc.succs expect
+          && Array.for_all2
+               (fun c preds ->
+                 Array.for_all
+                   (fun p -> Array.exists (fun s -> s = c) scc.Scc.succs.(p))
+                   preds)
+               (Array.init scc.Scc.count Fun.id)
+               scc.Scc.preds);
+      qcheck_scc "topological respects cross-component edges" (fun succs ->
+          let scc = Scc.compute ~succs in
+          let n = Array.length succs in
+          let order = Scc.topological scc in
+          let pos = Array.make n (-1) in
+          List.iteri (fun k v -> pos.(v) <- k) order;
+          List.length order = n
+          && Array.for_all (fun p -> p >= 0) pos
+          && begin
+               let ok = ref true in
+               Array.iteri
+                 (fun u ds ->
+                   Array.iter
+                     (fun v ->
+                       if
+                         scc.Scc.comp_of.(u) <> scc.Scc.comp_of.(v)
+                         && pos.(v) > pos.(u)
+                       then ok := false)
+                     ds)
+                 succs;
+               !ok
+             end);
+    ]
+
+let test_scc_basics () =
+  (* Two mutually recursive pairs and an isolated vertex:
+     0 <-> 1 -> 2 <-> 3, 4 alone. *)
+  let succs = [| [| 1 |]; [| 0; 2 |]; [| 3 |]; [| 2 |]; [||] |] in
+  let scc = Scc.compute ~succs in
+  Alcotest.(check int) "count" 3 scc.Scc.count;
+  Alcotest.(check bool) "not trivial" false (Scc.is_trivial scc);
+  Alcotest.(check int) "largest" 2 (Scc.largest scc);
+  Alcotest.(check bool) "pair together"
+    true
+    (scc.Scc.comp_of.(0) = scc.Scc.comp_of.(1)
+    && scc.Scc.comp_of.(2) = scc.Scc.comp_of.(3)
+    && scc.Scc.comp_of.(0) <> scc.Scc.comp_of.(2));
+  (* {0,1} calls into {2,3}: callee numbered first. *)
+  Alcotest.(check bool) "callee first" true
+    (scc.Scc.comp_of.(2) < scc.Scc.comp_of.(0));
+  let acyclic = Scc.compute ~succs:[| [| 1 |]; [| 2 |]; [||] |] in
+  Alcotest.(check bool) "chain trivial" true (Scc.is_trivial acyclic);
+  let empty = Scc.compute ~succs:[||] in
+  Alcotest.(check int) "empty graph" 0 empty.Scc.count;
+  Alcotest.(check int) "empty largest" 0 (Scc.largest empty)
+
+let test_scc_deep_chain () =
+  (* A 200k-vertex path: a recursive Tarjan would overflow the runtime
+     stack here; the explicit-stack one must not. *)
+  let n = 200_000 in
+  let succs = Array.init n (fun v -> if v + 1 < n then [| v + 1 |] else [||]) in
+  let scc = Scc.compute ~succs in
+  Alcotest.(check int) "one component per vertex" n scc.Scc.count;
+  Alcotest.(check bool) "trivial" true (Scc.is_trivial scc);
+  (* The sink of every edge gets the smaller number. *)
+  Alcotest.(check int) "sink numbered 0" 0 scc.Scc.comp_of.(n - 1);
+  Alcotest.(check int) "source numbered last" (n - 1) scc.Scc.comp_of.(0);
+  (* And one giant cycle: a single component, every vertex a member. *)
+  let succs = Array.init n (fun v -> [| (v + 1) mod n |]) in
+  let scc = Scc.compute ~succs in
+  Alcotest.(check int) "cycle: one component" 1 scc.Scc.count;
+  Alcotest.(check int) "cycle: all members" n (Scc.largest scc)
+
 (* --- Pool ---------------------------------------------------------------- *)
 
 let test_pool_ordering () =
@@ -248,6 +471,81 @@ let test_pool_lifecycle () =
   Alcotest.check_raises "with_pool reraises" Exit (fun () ->
       Pool.with_pool ~jobs:2 (fun _ -> raise Exit))
 
+let test_pool_run_dag () =
+  (* A diamond lattice: task i depends on i-1 and i/2.  Whatever the
+     parallelism, every task runs exactly once and never before its
+     dependencies. *)
+  let n = 60 in
+  let deps =
+    Array.init n (fun i ->
+        if i = 0 then [] else List.sort_uniq Int.compare [ i - 1; i / 2 ])
+  in
+  let dependents = Array.make n [] in
+  Array.iteri
+    (fun i ds -> List.iter (fun d -> dependents.(d) <- i :: dependents.(d)) ds)
+    deps;
+  let dependents = Array.map Array.of_list dependents in
+  let dep_counts = Array.map List.length deps in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let m = Mutex.create () in
+          let order = ref [] in
+          Pool.run_dag pool ~dependents ~dep_counts (fun i ->
+              Mutex.lock m;
+              order := i :: !order;
+              Mutex.unlock m);
+          let order = List.rev !order in
+          Alcotest.(check (list int))
+            (Printf.sprintf "each task exactly once at jobs=%d" jobs)
+            (List.init n Fun.id)
+            (List.sort Int.compare order);
+          let pos = Array.make n (-1) in
+          List.iteri (fun k i -> pos.(i) <- k) order;
+          Array.iteri
+            (fun i ds ->
+              List.iter
+                (fun d ->
+                  if pos.(d) > pos.(i) then
+                    Alcotest.failf "task %d ran before its dependency %d (jobs=%d)"
+                      i d jobs)
+                ds)
+            deps;
+          (* Empty graph: a no-op. *)
+          Pool.run_dag pool ~dependents:[||] ~dep_counts:[||] (fun _ ->
+              Alcotest.fail "body called on empty graph")))
+    [ 1; 4 ]
+
+let test_pool_run_dag_errors () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          (* A 2-cycle (0 <-> 1) behind a completed prefix. *)
+          Alcotest.check_raises
+            (Printf.sprintf "cycle detected at jobs=%d" jobs)
+            (Invalid_argument "Pool.run_dag: dependency graph has a cycle")
+            (fun () ->
+              Pool.run_dag pool
+                ~dependents:[| [| 1 |]; [| 2 |]; [| 1 |] |]
+                ~dep_counts:[| 0; 2; 1 |]
+                (fun _ -> ()));
+          Alcotest.check_raises "length mismatch"
+            (Invalid_argument "Pool.run_dag: dependents and dep_counts lengths differ")
+            (fun () ->
+              Pool.run_dag pool ~dependents:[| [||] |] ~dep_counts:[||] (fun _ -> ()));
+          (* A task's exception resurfaces on the calling domain and the
+             pool stays usable. *)
+          Alcotest.check_raises
+            (Printf.sprintf "task exception at jobs=%d" jobs)
+            (Failure "dag-boom") (fun () ->
+              Pool.run_dag pool
+                ~dependents:(Array.init 20 (fun i -> if i + 1 < 20 then [| i + 1 |] else [||]))
+                ~dep_counts:(Array.init 20 (fun i -> if i = 0 then 0 else 1))
+                (fun i -> if i = 13 then failwith "dag-boom"));
+          Alcotest.(check (array int)) "usable after failure" [| 0; 1; 2 |]
+            (Pool.parallel_init pool 3 Fun.id)))
+    [ 1; 4 ]
+
 (* --- Timer and Memmeter -------------------------------------------------- *)
 
 let test_timer () =
@@ -285,13 +583,22 @@ let () =
         [
           Alcotest.test_case "fifo + dedup + ring" `Quick test_workset;
           Alcotest.test_case "out-of-range push" `Quick test_workset_bounds;
+          Alcotest.test_case "wraparound + push-after-pop" `Quick
+            test_workset_wraparound_requeue;
+          Alcotest.test_case "capacity and clear" `Quick test_workset_capacity_clear;
         ] );
+      ( "scc",
+        Alcotest.test_case "basics" `Quick test_scc_basics
+        :: Alcotest.test_case "deep chain and giant cycle" `Quick test_scc_deep_chain
+        :: scc_properties );
       ( "pool",
         [
           Alcotest.test_case "ordering" `Quick test_pool_ordering;
           Alcotest.test_case "exception propagation" `Quick test_pool_exception;
           Alcotest.test_case "empty and jobs > items" `Quick test_pool_empty_and_small;
           Alcotest.test_case "lifecycle" `Quick test_pool_lifecycle;
+          Alcotest.test_case "run_dag scheduling" `Quick test_pool_run_dag;
+          Alcotest.test_case "run_dag errors" `Quick test_pool_run_dag_errors;
         ] );
       ("timer", [ Alcotest.test_case "stages" `Quick test_timer ]);
       ("memmeter", [ Alcotest.test_case "measure" `Quick test_memmeter ]);
